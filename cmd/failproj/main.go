@@ -1,0 +1,69 @@
+// Command failproj runs the PDSI failure analyses: synthetic LANL-style
+// trace generation and the interrupts-vs-chips fit (Figure 4), the MTTI
+// and utilization projections (Figures 4/5), and the FAST'07 disk fleet
+// study (no bathtub; field rates far above datasheet).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/failure"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		chipDoubling = flag.Float64("chip-doubling-months", 18, "per-chip speed doubling period")
+		delta        = flag.Float64("checkpoint-seconds", 600, "checkpoint capture time")
+		fleetN       = flag.Int("drives", 10000, "disk fleet size for the FAST'07 study")
+		years        = flag.Int("years", 5, "disk fleet observation years")
+		seed         = flag.Int64("seed", 11, "random seed")
+	)
+	flag.Parse()
+
+	// --- Figure 4: interrupts linear in chips.
+	fmt.Println("== synthetic LANL fleet: interrupts vs chips ==")
+	specs := failure.LANLStyleFleet(22, 0.25, 0.8, *seed)
+	var sys []failure.SystemStats
+	for i, spec := range specs {
+		s := failure.Analyze(spec, failure.GenerateTrace(spec, 9, *seed+int64(i)), 9)
+		sys = append(sys, s)
+	}
+	fit, err := failure.FitInterruptsVsChips(sys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fit: interrupts/yr = %.3f*chips %+.1f (R2 %.3f) across %d systems\n",
+		fit.Slope, fit.Intercept, fit.R2, len(sys))
+
+	// --- Figures 4/5: projections.
+	proj := failure.ReportProjection(*chipDoubling)
+	fmt.Printf("\n== projection (chip speed 2x every %.0f months) ==\n", *chipDoubling)
+	points := failure.BalancedUtilization(proj, *delta, *delta, 2008, 2020)
+	fmt.Printf("%6s %12s %12s %14s\n", "year", "chips", "MTTI (min)", "utilization")
+	for _, p := range points {
+		fmt.Printf("%6d %12.0f %12.1f %13.1f%%\n", p.Year, p.Chips, p.MTTI/60, p.Utilization*100)
+	}
+	fmt.Printf("50%% utilization crossing: %d\n", failure.CrossingYear(points, 0.5))
+
+	// --- FAST'07 disk study.
+	fmt.Printf("\n== disk fleet (%d drives, %d years) ==\n", *fleetN, *years)
+	for _, class := range []failure.DriveClass{failure.EnterpriseClass(), failure.NearlineClass()} {
+		fleet := failure.SimulateFleet(class, *fleetN, *years, *seed)
+		fmt.Printf("%-11s datasheet AFR %.2f%%  observed AFR %.2f%%  ARR by year:",
+			class.Name, class.DatasheetAFR()*100, failure.ObservedAFR(fleet)*100)
+		for _, y := range fleet {
+			fmt.Printf(" %.1f%%", y.ARR*100)
+		}
+		fmt.Println()
+	}
+	gaps := failure.ReplacementInterarrivals(failure.EnterpriseClass(), 2000, *years, *seed)
+	w, err := stats.FitWeibull(gaps)
+	if err == nil {
+		fmt.Printf("replacement interarrival Weibull fit: shape %.2f scale %.0f h (CoV %.2f)\n",
+			w.Shape, w.Scale, stats.Summarize(gaps).CoefficientVar)
+	}
+	fmt.Println("\nfindings mirrored: no infant-mortality bathtub (ARR climbs with age),")
+	fmt.Println("field rates several times datasheet, enterprise ~ nearline.")
+}

@@ -1,0 +1,84 @@
+// Command fsstats reproduces the PDSI-released fsstats survey tool
+// (CMU/Panasas; used for the Figure 3 data releases): it surveys a file
+// population and prints the per-size-bucket table plus an ASCII CDF, for
+// one synthetic system or the whole eleven-system comparison.
+//
+//	fsstats                 # survey all eleven Figure 3 populations
+//	fsstats -system viz1    # one system, with its CDF curve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fsstats"
+)
+
+func human(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fG", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fM", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fK", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+func plotCDF(rep fsstats.Report, width int) {
+	xs, ys := rep.CDFPoints(24)
+	for i := range xs {
+		bar := int(ys[i] * float64(width))
+		fmt.Printf("  %10s |%s %5.1f%%\n", human(xs[i]), strings.Repeat("#", bar), ys[i]*100)
+	}
+}
+
+func main() {
+	var (
+		system = flag.String("system", "", "survey one system (default: all)")
+		files  = flag.Int("files", 40000, "files per synthetic population")
+		seed   = flag.Int64("seed", 100, "generator seed")
+	)
+	flag.Parse()
+
+	specs := fsstats.ElevenSystems(*files)
+	if *system != "" {
+		for i, spec := range specs {
+			if spec.Name != *system {
+				continue
+			}
+			rep := fsstats.Survey(spec.Name, fsstats.Generate(spec, *seed+int64(i)))
+			fmt.Printf("%s: %d files, %.1f GB total, median %s, mean %s\n",
+				rep.Name, rep.Count, float64(rep.TotalBytes)/(1<<30),
+				human(rep.MedianSize), human(rep.MeanSize))
+			for _, th := range fsstats.Thresholds {
+				fmt.Printf("  files <= %-6s %5.1f%%   bytes in files > %-6s %5.1f%%\n",
+					human(float64(th)), rep.FractionFilesUnder[th]*100,
+					human(float64(th)), rep.FractionBytesOver[th]*100)
+			}
+			fmt.Println("\nfile size CDF:")
+			plotCDF(rep, 50)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "unknown -system %q; known:", *system)
+		for _, spec := range specs {
+			fmt.Fprintf(os.Stderr, " %s", spec.Name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-16s %10s %10s %10s %12s %12s\n",
+		"system", "files", "median", "mean", "%files<=64K", "%bytes>1M")
+	for i, spec := range specs {
+		rep := fsstats.Survey(spec.Name, fsstats.Generate(spec, *seed+int64(i)))
+		fmt.Printf("%-16s %10d %10s %10s %11.1f%% %11.1f%%\n",
+			rep.Name, rep.Count, human(rep.MedianSize), human(rep.MeanSize),
+			rep.FractionFilesUnder[64<<10]*100, rep.FractionBytesOver[1<<20]*100)
+	}
+	fmt.Println("\nthe survey's shape: most files are small; most bytes live in big files")
+}

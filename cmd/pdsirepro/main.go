@@ -1,0 +1,555 @@
+// Command pdsirepro regenerates every table and figure of the PDSI final
+// report's evaluation from the simulated substrates in this repository.
+//
+// Usage:
+//
+//	pdsirepro -fig all        # everything (the EXPERIMENTS.md content)
+//	pdsirepro -fig 8          # just the PLFS speedup experiment
+//	pdsirepro -fig 9,11,tape  # a comma-separated subset
+//
+// Known experiment ids: 2 3 4 5 7 8 9 10 11 12 13 14 tape place diag
+// search restart power security prefetch trace pnfs fsva posix disc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/cloudfs"
+	"repro/internal/diagnose"
+	"repro/internal/diskreduce"
+	"repro/internal/failure"
+	"repro/internal/flash"
+	"repro/internal/fsstats"
+	"repro/internal/fsva"
+	"repro/internal/giga"
+	"repro/internal/hdf5sim"
+	"repro/internal/incast"
+	"repro/internal/mdindex"
+	"repro/internal/pfs"
+	"repro/internal/placement"
+	"repro/internal/pnfs"
+	"repro/internal/posixext"
+	"repro/internal/prefetch"
+	"repro/internal/scalatrace"
+	"repro/internal/security"
+	"repro/internal/tape"
+	"repro/internal/workload"
+
+	"repro/internal/argon"
+)
+
+var experiments = map[string]func(){
+	"2":        fig2,
+	"3":        fig3,
+	"4":        fig4,
+	"5":        fig5,
+	"7":        fig7,
+	"8":        fig8,
+	"9":        fig9,
+	"10":       fig10,
+	"11":       fig11,
+	"12":       fig12,
+	"13":       fig13,
+	"14":       fig14,
+	"tape":     figTape,
+	"place":    figPlace,
+	"diag":     figDiag,
+	"search":   figSearch,
+	"restart":  figRestart,
+	"power":    figPower,
+	"security": figSecurity,
+	"prefetch": figPrefetch,
+	"trace":    figTraceComp,
+	"pnfs":     figPNFS,
+	"fsva":     figFSVA,
+	"posix":    figPosixExt,
+	"disc":     figDiskReduce,
+}
+
+var order = []string{
+	"2", "3", "4", "5", "7", "8", "9", "10", "11", "12", "13", "14",
+	"tape", "place", "diag", "search", "restart", "power", "security",
+	"prefetch", "trace", "pnfs", "fsva", "posix", "disc",
+}
+
+func main() {
+	figs := flag.String("fig", "all", "comma-separated experiment ids, or 'all'")
+	flag.Parse()
+	var run []string
+	if *figs == "all" {
+		run = order
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			f = strings.TrimSpace(f)
+			if _, ok := experiments[f]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", f, strings.Join(order, " "))
+				os.Exit(2)
+			}
+			run = append(run, f)
+		}
+	}
+	for _, f := range run {
+		experiments[f]()
+		fmt.Println()
+	}
+}
+
+func header(title string) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+}
+
+func mb(bps float64) float64 { return bps / 1e6 }
+
+// fig2: S3D weak-scaling checkpoint time and predicted 12-hour fraction.
+func fig2() {
+	header("Figure 2 — S3D checkpoint I/O, weak scaling (c2h4-style problem)")
+	fsCfg := pfs.PanFSLike(8)
+	points := workload.S3DWeakScaling(fsCfg, workload.DefaultS3D(), []int{16, 32, 64, 128, 256})
+	fmt.Printf("%8s %16s %14s %22s\n", "ranks", "ckpt time (s)", "I/O fraction", "12h predicted I/O frac")
+	for _, p := range points {
+		fmt.Printf("%8d %16.2f %14.3f %22.3f\n",
+			p.Ranks, float64(p.CheckpointTime), p.FractionIO, p.Predicted12hFraction)
+	}
+	fmt.Println("shape check: I/O fraction grows with scale (1% at small N -> tens of % at large N)")
+}
+
+// fig3: CDF of file sizes across eleven surveyed file systems.
+func fig3() {
+	header("Figure 3 — CDF of file sizes across eleven non-archival file systems")
+	fmt.Printf("%-16s %10s %12s %12s %14s %16s\n",
+		"system", "files", "median", "p90", "%files<=64K", "%bytes>1M")
+	for i, spec := range fsstats.ElevenSystems(40000) {
+		rep := fsstats.Survey(spec.Name, fsstats.Generate(spec, int64(100+i)))
+		fmt.Printf("%-16s %10d %12.0f %12.0f %14.1f %16.1f\n",
+			rep.Name, rep.Count, rep.MedianSize, rep.P90Size,
+			rep.FractionFilesUnder[64<<10]*100, rep.FractionBytesOver[1<<20]*100)
+	}
+	fmt.Println("shape check: medians are small (KBs) while most bytes sit in >1MB files")
+}
+
+// fig4: interrupts linear in chips; MTTI projection.
+func fig4() {
+	header("Figure 4 — interrupts linear in #chips; projected MTTI vs year")
+	specs := failure.LANLStyleFleet(22, 0.25, 0.8, 11)
+	var sys []failure.SystemStats
+	for i, spec := range specs {
+		sys = append(sys, failure.Analyze(spec, failure.GenerateTrace(spec, 9, int64(100+i)), 9))
+	}
+	fit, err := failure.FitInterruptsVsChips(sys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fleet fit: interrupts/yr = %.3f * chips + %.1f   (R2 = %.3f)\n",
+		fit.Slope, fit.Intercept, fit.R2)
+	fmt.Printf("\n%6s %18s %18s %18s\n", "year", "MTTI (18mo chip 2x)", "MTTI (24mo)", "MTTI (30mo)")
+	for y := 2008; y <= 2020; y += 2 {
+		m18 := failure.ReportProjection(18).MTTISeconds(y)
+		m24 := failure.ReportProjection(24).MTTISeconds(y)
+		m30 := failure.ReportProjection(30).MTTISeconds(y)
+		fmt.Printf("%6d %15.1f min %15.1f min %15.1f min\n", y, m18/60, m24/60, m30/60)
+	}
+	fmt.Println("shape check: MTTI falls from hours toward minutes approaching exascale")
+}
+
+// fig5: effective application utilization under balanced growth.
+func fig5() {
+	header("Figure 5 — effective application utilization (checkpoint/restart)")
+	fmt.Printf("%6s %14s %14s %14s %16s\n", "year", "util (18mo)", "util (24mo)", "util (30mo)", "process pairs")
+	series := map[float64][]failure.UtilizationPoint{}
+	for _, m := range []float64{18, 24, 30} {
+		series[m] = failure.BalancedUtilization(failure.ReportProjection(m), 600, 600, 2008, 2020)
+	}
+	for i := range series[18] {
+		p18, p24, p30 := series[18][i], series[24][i], series[30][i]
+		pp := failure.ProcessPairsUtilization(failure.Daly{Delta: 600, Restart: 600, MTTI: p18.MTTI})
+		fmt.Printf("%6d %14.3f %14.3f %14.3f %16.3f\n",
+			p18.Year, p18.Utilization, p24.Utilization, p30.Utilization, pp)
+	}
+	for _, m := range []float64{18, 24, 30} {
+		fmt.Printf("50%% crossing (chip 2x every %.0f mo): %d\n",
+			m, failure.CrossingYear(series[m], 0.5))
+	}
+	bbSeries := failure.BurstBufferProjection(failure.ReportProjection(18), 600, 600, 10, 2008, 2020)
+	fmt.Printf("with a 10x flash burst buffer the crossing moves to: %d\n",
+		failure.CrossingYear(bbSeries, 0.5))
+	fmt.Println("shape check: utilization crosses below 50% before 2014")
+}
+
+// fig7: GIGA+ create throughput scaling.
+func fig7() {
+	header("Figure 7 — GIGA+ directory create throughput vs metadata servers")
+	fmt.Printf("%8s %16s %12s %10s %12s %12s\n",
+		"servers", "creates/sec", "partitions", "splits", "addr errs", "imbalance")
+	for _, s := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := giga.DefaultConfig(s)
+		cfg.SplitThreshold = 200
+		res := giga.CreateStorm(cfg, 64, 40000)
+		fmt.Printf("%8d %16.0f %12d %10d %12d %12.2f\n",
+			s, res.CreatesPerSecond, res.Partitions, res.Splits, res.AddressingErrors, res.LoadImbalance)
+	}
+	base := giga.SingleServerBaseline(giga.DefaultConfig(1).InsertTime, giga.DefaultConfig(1).RPC, 64, 40000)
+	fmt.Printf("conventional single metadata server baseline: %.0f creates/sec\n", base.CreatesPerSecond)
+	fmt.Println("shape check: near-linear scaling with servers; baseline flat")
+}
+
+// fig8: PLFS checkpoint speedups on three file system presets.
+func fig8() {
+	header("Figure 8 — PLFS checkpoint bandwidth vs direct N-1 strided writes")
+	fmt.Printf("%-14s %16s %16s %16s %10s\n",
+		"file system", "N-1 direct MB/s", "PLFS MB/s", "N-N MB/s", "speedup")
+	for _, cfg := range pfs.AllPresets(8) {
+		direct, viaPLFS, ratio := workload.Speedup(cfg, 32, 4<<20, 47008)
+		nn := workload.Run(cfg, workload.Spec{
+			Ranks: 32, BytesPerRank: 4 << 20, RecordSize: 47008, Pattern: workload.NN})
+		fmt.Printf("%-14s %16.1f %16.1f %16.1f %9.1fx\n",
+			cfg.Name, mb(direct.Bandwidth), mb(viaPLFS.Bandwidth), mb(nn.Bandwidth), ratio)
+	}
+	fmt.Println("shape check: order-of-magnitude speedups (LANL saw 5-28x in production,")
+	fmt.Println("10x Chombo, ~100x FLASH); PLFS lands within a small factor of native N-N")
+}
+
+// fig9: TCP incast goodput collapse and the low-RTO fix.
+func fig9() {
+	header("Figure 9 — TCP incast: goodput vs number of synchronized senders")
+	counts := []int{1, 2, 4, 8, 16, 32, 48, 64}
+	fmt.Printf("%8s %20s %20s %22s\n", "senders", "200ms RTO (Mbps)", "1ms RTO (Mbps)", "1ms+random (Mbps)")
+	slow := incast.Sweep(counts, nil)
+	fast := incast.Sweep(counts, func(p *incast.Params) { p.MinRTO = 1e-3 })
+	rnd := incast.Sweep(counts, func(p *incast.Params) { p.MinRTO = 1e-3; p.RTORandomize = true })
+	for i, n := range counts {
+		fmt.Printf("%8d %20.1f %20.1f %22.1f\n",
+			n, slow[i].GoodputBps*8/1e6, fast[i].GoodputBps*8/1e6, rnd[i].GoodputBps*8/1e6)
+	}
+	fmt.Println("shape check: default-RTO goodput collapses >10x past the buffer limit;")
+	fmt.Println("1ms minimum RTO restores most of the link bandwidth")
+}
+
+// fig10: Argon performance insulation.
+func fig10() {
+	header("Figure 10 — Argon: insulation of a stream vs a random-I/O tenant")
+	fmt.Printf("%-20s %18s %18s\n", "policy", "stream frac of solo", "random frac of solo")
+	for _, pol := range []argon.Policy{argon.Interleave, argon.TimesliceCoSched} {
+		cfg := argon.DefaultConfig(1, pol)
+		cfg.Duration = 10
+		ins := argon.Measure(cfg)
+		fmt.Printf("%-20s %18.2f %18.2f\n", pol, ins.StreamFraction, ins.RandFraction)
+	}
+	fmt.Println("\ncluster co-scheduling (8 servers, striped synchronous client):")
+	fmt.Printf("%-20s %16s\n", "policy", "stream MB/s")
+	for _, pol := range []argon.Policy{argon.TimesliceUnsync, argon.TimesliceCoSched} {
+		cfg := argon.DefaultConfig(8, pol)
+		cfg.Duration = 10
+		res := argon.Run(cfg)
+		fmt.Printf("%-20s %16.1f\n", pol, mb(res.StreamBps))
+	}
+	fmt.Println("shape check: timeslicing gives each tenant ~fair share minus a <10% guard")
+	fmt.Println("band; co-scheduled slices recover ~90% of best case vs unsynchronized")
+}
+
+// fig11: Table 1 + flash vs disk characteristics.
+func fig11() {
+	header("Figure 11 / Table 1 — flash device characteristics vs magnetic disk")
+	fmt.Printf("%-32s %12s %14s %14s %14s\n",
+		"device", "seq MB/s", "rd 4K IOPS", "wr 4K fresh", "wr 4K steady")
+	for _, spec := range flash.AllTable1Devices() {
+		fmt.Printf("%-32s %12.0f %14.0f %14.0f %14.0f\n",
+			spec.Name,
+			flash.SequentialWriteRate(spec)/1e6,
+			flash.RandomReadRate(spec, 2000, 3),
+			flash.FreshRandomWriteRate(spec, 5),
+			flash.SteadyRandomWriteRate(spec, 5))
+	}
+	fmt.Println("magnetic disk reference: ~70-90 MB/s sequential, ~100-150 random 4K IOPS")
+	fmt.Println("shape check: flash random reads 100-1000x disk; sustained random writes")
+	fmt.Println("degrade sharply once the pre-erased pool drains")
+}
+
+// fig12: Hadoop-on-PVFS vs HDFS.
+func fig12() {
+	header("Figure 12 — Hadoop text search: HDFS vs PVFS shim variants")
+	fmt.Printf("%-30s %12s %14s %10s %10s\n", "stack", "job (s)", "scan MB/s", "local", "remote")
+	for _, r := range cloudfs.Compare(cloudfs.DefaultParams(16, 64)) {
+		fmt.Printf("%-30s %12.2f %14.1f %10d %10d\n",
+			r.Mode, float64(r.Elapsed), mb(r.Throughput), r.LocalReads, r.RemoteReads)
+	}
+	fmt.Println("shape check: naive shim > 2x slower than HDFS; readahead closes most of")
+	fmt.Println("the gap; exposing replica layout reaches parity")
+}
+
+// fig13: HDF5 optimization stack.
+func fig13() {
+	header("Figure 13 — cumulative HDF5 optimization benefits (Chombo, GCRM)")
+	fsCfg := pfs.LustreLike(8)
+	for _, code := range []hdf5sim.Code{hdf5sim.Chombo, hdf5sim.GCRM} {
+		fmt.Printf("%s:\n", code)
+		for _, r := range hdf5sim.RunStack(fsCfg, code, 32, 2<<20) {
+			fmt.Printf("  %-26s %12.1f MB/s %10.1fx\n", r.Level, mb(r.Bandwidth), r.SpeedupVsBaseline)
+		}
+	}
+	fmt.Println("shape check: each optimization compounds; full stack reaches an order of")
+	fmt.Println("magnitude (report: up to 33x) and approaches the file system's peak")
+}
+
+// fig14: sustained random write degradation.
+func fig14() {
+	header("Figure 14 — sustained 4K random write IOPS over time per device")
+	for _, spec := range flash.AllTable1Devices() {
+		res := flash.SustainedRandomWrite(spec, 1.0, 60, 5, 99)
+		fmt.Printf("%-32s ", spec.Name)
+		for _, w := range res {
+			fmt.Printf("%8.0f", w.IOPS)
+		}
+		fmt.Printf("   (IOPS per 5s window; WA end %.2f)\n", res[len(res)-1].WriteAmp)
+	}
+	fmt.Println("shape check: SATA-class (low spare area) devices fall off a cliff;")
+	fmt.Println("PCIe-class (high overprovisioning) decline far more gently")
+}
+
+// figTape: NERSC tape verification statistics.
+func figTape() {
+	header("Tape verification — NERSC media migration (§5.2.3)")
+	migration := tape.Campaign(tape.NERSCArchive(), 5, 42)
+	appliance := tape.Campaign(tape.NERSCArchive(), 1, 42)
+	fmt.Printf("tapes read:                  %d (%.1f TB)\n", migration.Tapes, migration.DataGB/1e3)
+	fmt.Printf("fully readable (5 retries):  %d (%.3f%%)\n",
+		migration.FullyRead, migration.ReadabilityFraction*100)
+	fmt.Printf("unreadable after retries:    %d tapes, %d files, %.1f GB\n",
+		migration.Unreadable, migration.LostFiles, migration.LostGB)
+	fmt.Printf("single-pass appliance flags: %d (overstates by %.1fx)\n",
+		appliance.Unreadable, float64(appliance.Unreadable)/float64(migration.Unreadable))
+	fmt.Println("shape check: ~99.95% of media fully readable; appliance needs 3-5 rereads")
+}
+
+// figPlace: placement strategy comparison.
+func figPlace() {
+	header("Placement — strategy comparison (§4.2.3 parallel layout study)")
+	chunks := placement.CheckpointChunks(256, 64, 1<<20)
+	small := placement.CheckpointChunks(4096, 1, 1<<20)
+	fmt.Printf("%-20s %12s %16s %14s\n", "strategy", "imbalance", "small-file imbal", "moved 8->9")
+	for _, s := range []placement.Strategy{placement.RoundRobin{}, placement.FileOffsetStripe{}, placement.CRUSHLike{}} {
+		ev := placement.Evaluate(s, chunks, 8, 1)
+		evs := placement.Evaluate(s, small, 8, 1)
+		moved := placement.MovedFraction(s, chunks, 8, 9, 1)
+		fmt.Printf("%-20s %12.2f %16.2f %14.2f\n", s.Name(), ev.Imbalance, evs.Imbalance, moved)
+	}
+	fmt.Println("shape check: round-robin convoys small files on server 0; CRUSH-like")
+	fmt.Println("placement moves only ~1/n of data on growth")
+}
+
+// figSearch: partitioned metadata search vs flat scan.
+func figSearch() {
+	header("Metadata search — Spyglass-style partitioned index (§4.2.2)")
+	records := make([]mdindex.FileMeta, 0, 200000)
+	for p := 0; p < 500; p++ {
+		for f := 0; f < 400; f++ {
+			ext := []string{".h5", ".nc", ".dat", ".txt"}[p%4]
+			records = append(records, mdindex.FileMeta{
+				Path:  fmt.Sprintf("/proj%03d/run%02d/f%05d%s", p, f%8, f, ext),
+				Size:  int64((p*37 + f*13) % (1 << 24)),
+				MTime: int64(p*1000 + f),
+				Owner: uint32(p % 50),
+				Ext:   ext,
+			})
+		}
+	}
+	ix := mdindex.Build(records, 1)
+	owner := uint32(8)
+	maxSize := int64(4096)
+	q := mdindex.Query{Owner: &owner, Ext: ".h5", MaxSize: &maxSize}
+
+	// Warm both paths, then time several iterations for stable numbers.
+	flat := mdindex.FlatScan(records, q)
+	idx := ix.Search(q)
+	const iters = 20
+	startFlat := time.Now()
+	for i := 0; i < iters; i++ {
+		mdindex.FlatScan(records, q)
+	}
+	flatDur := time.Since(startFlat) / iters
+	startIdx := time.Now()
+	for i := 0; i < iters; i++ {
+		ix.Search(q)
+	}
+	idxDur := time.Since(startIdx) / iters
+
+	fmt.Printf("corpus:          %d files in %d partitions\n", ix.Len(), ix.Partitions())
+	fmt.Printf("query:           owner=8 AND ext=.h5 AND size<=4K -> %d matches (flat scan agrees: %v)\n",
+		len(idx), len(idx) == len(flat))
+	fmt.Printf("flat scan:       %v over %d records\n", flatDur, len(records))
+	perQuery := ix.RecordsScanned / (iters + 1)
+	fmt.Printf("partitioned:     %v over %d records (%.0fx wall, %.0fx fewer records)\n",
+		idxDur, perQuery, float64(flatDur)/float64(idxDur),
+		float64(len(records))/float64(perQuery))
+	fmt.Println("shape check: 10-1000x over a database-style scan on selective queries")
+}
+
+// figRestart: PLFS read-back performance.
+func figRestart() {
+	header("Restart — PLFS read-back (PDSW'09 '...And eat it too')")
+	cfg := pfs.PanFSLike(8)
+	spec := workload.Spec{
+		Ranks: 16, BytesPerRank: 4 << 20, RecordSize: 47008,
+		Pattern: workload.PLFSPattern, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
+	}
+	uni := workload.RunRestart(cfg, spec, workload.UniformRestart)
+	sh := workload.RunRestart(cfg, spec, workload.ShiftedRestart)
+	direct := workload.RunRestart(cfg, workload.Spec{
+		Ranks: 16, BytesPerRank: 4 << 20, RecordSize: 47008, Pattern: workload.N1Strided,
+	}, workload.UniformRestart)
+	fmt.Printf("%-34s %12s %14s\n", "scenario", "time (s)", "MB/s moved")
+	fmt.Printf("%-34s %12.2f %14.1f\n", "PLFS write + uniform restart", float64(uni.Elapsed), mb(uni.Bandwidth))
+	fmt.Printf("%-34s %12.2f %14.1f\n", "PLFS write + shifted restart", float64(sh.Elapsed), mb(sh.Bandwidth))
+	fmt.Printf("%-34s %12.2f %14.1f\n", "direct N-1 write + restart", float64(direct.Elapsed), mb(direct.Bandwidth))
+	fmt.Println("shape check: uniform restart streams each rank's own log; shifted")
+	fmt.Println("restart pays scattered log reads but still beats the direct pattern")
+}
+
+// figPower: power-managed archival storage.
+func figPower() {
+	header("Archival power — Pergamum-style spin-down archive (§4.2.4/UCSC)")
+	fmt.Printf("%-18s %12s %12s %12s %14s\n",
+		"policy", "avg watts", "spin-ups", "sleep frac", "p99 latency")
+	for _, pol := range []archive.Policy{archive.Striped, archive.Packed, archive.SemanticGroups} {
+		res := archive.Run(archive.DefaultConfig(16, pol))
+		fmt.Printf("%-18s %12.1f %12d %12.2f %14v\n",
+			pol, res.AvgWatts, res.SpinUps, res.DiskSleepFrac, res.P99Latency)
+	}
+	fmt.Printf("always-on array baseline: %.1f watts\n",
+		archive.AlwaysOnWatts(archive.DefaultConfig(16, archive.Packed)))
+	fmt.Println("shape check: spin-down archives run far below always-on power;")
+	fmt.Println("semantic grouping minimizes wake-ups; striping wakes everything")
+}
+
+// figSecurity: Maat capability overheads.
+func figSecurity() {
+	header("Security — scalable capabilities for parallel file systems (§4.2.4)")
+	fmt.Printf("%-24s %18s %18s\n", "scheme", "shared-file ovhd", "private-file ovhd")
+	for _, mode := range []security.Mode{security.PerFileCaps, security.ExtendedCaps} {
+		sh := security.Overhead(security.DefaultConfig(32, mode, true))
+		pr := security.Overhead(security.DefaultConfig(32, mode, false))
+		fmt.Printf("%-24s %17.1f%% %17.1f%%\n", mode, sh*100, pr*100)
+	}
+	fmt.Println("shape check: Maat's extended capabilities keep overhead at 1-2%")
+	fmt.Println("typical and under 6-7% on shared-file/shared-disk workloads")
+}
+
+// figPrefetch: GMC multi-order prefetching.
+func figPrefetch() {
+	header("Prefetching — Global Multi-order Context analysis (§5.4.2)")
+	stream := prefetch.MixedPhases(64, 4, 12)
+	fmt.Printf("%8s %12s %12s\n", "order", "accuracy", "coverage")
+	for _, order := range []int{1, 2, 3} {
+		m := prefetch.Evaluate(stream, order)
+		fmt.Printf("%8d %12.3f %12.3f\n", m.Order, m.Accuracy, m.Coverage)
+	}
+	m1 := prefetch.Evaluate(stream, 1)
+	m3 := prefetch.Evaluate(stream, 3)
+	fmt.Printf("GMC (order 3) coverage gain over order 1: %.0f%%\n",
+		(m3.Coverage/m1.Coverage-1)*100)
+	fmt.Println("shape check: multi-order context raises coverage while keeping")
+	fmt.Println("accuracy (the paper's layout/prefetch work reported >= 24% benefit)")
+}
+
+// figTraceComp: ScalaTrace-style trace compression.
+func figTraceComp() {
+	header("Trace compression — ScalaTrace-style loop folding (§5.4.2)")
+	loop := []scalatrace.Event{
+		{Op: "open", File: 1, Size: 0},
+		{Op: "write", File: 1, Delta: 47008, Size: 47008},
+		{Op: "write", File: 1, Delta: 47008, Size: 47008},
+		{Op: "close", File: 1, Size: 0},
+	}
+	fmt.Printf("%12s %14s %14s %12s\n", "iterations", "events", "stored terms", "ratio")
+	for _, iters := range []int{10, 100, 1000, 10000} {
+		var events []scalatrace.Event
+		for i := 0; i < iters; i++ {
+			events = append(events, loop...)
+		}
+		tr := scalatrace.Compress(events, 64)
+		fmt.Printf("%12d %14d %14d %11.0fx\n",
+			iters, tr.Len(), tr.TermCount(), tr.CompressionRatio())
+	}
+	fmt.Println("shape check: stored size tracks program structure, not run length")
+}
+
+// figPNFS: parallel NFS scaling vs plain NFS.
+func figPNFS() {
+	header("pNFS — parallel NFS vs the NAS bottleneck (§2.2)")
+	fmt.Printf("%8s %16s %16s %20s\n", "servers", "nfs MB/s", "pnfs MB/s", "pnfs no-layout-cache")
+	counts := []int{1, 2, 4, 8, 16}
+	nfs := pnfs.ScalingSweep(16, counts, pnfs.PlainNFS)
+	pn := pnfs.ScalingSweep(16, counts, pnfs.PNFSFiles)
+	nc := pnfs.ScalingSweep(16, counts, pnfs.PNFSNoCache)
+	for i, n := range counts {
+		fmt.Printf("%8d %16.1f %16.1f %20.1f\n",
+			n, mb(nfs[i].AggregateBps), mb(pn[i].AggregateBps), mb(nc[i].AggregateBps))
+	}
+	fmt.Println("shape check: plain NFS is pinned at one server's NIC; pNFS scales with")
+	fmt.Println("data servers; layout caching keeps the metadata server off the data path")
+}
+
+// figFSVA: file system virtual appliance forwarding overheads.
+func figFSVA() {
+	header("FSVA — file system virtual appliances (§4.2.1)")
+	fmt.Printf("%-26s %14s %14s\n", "transport", "kops/sec", "overhead")
+	for _, r := range fsva.Compare(fsva.DefaultConfig(fsva.Native)) {
+		fmt.Printf("%-26s %14.1f %13.1f%%\n",
+			r.Config.Transport, r.OpsPerSecond/1e3, r.OverheadVsNative*100)
+	}
+	fmt.Printf("porting churn avoided: %.0f engineer-weeks/year (quarterly kernels,\n",
+		fsva.PortingChurn(4, 1, 4))
+	fmt.Println("annual FS releases, 4-week ports)")
+	fmt.Println("shape check: shared-memory forwarding lands within a few percent of a")
+	fmt.Println("native kernel client; synchronous per-op VM crossings do not")
+}
+
+// figPosixExt: HEC POSIX extensions (group open).
+func figPosixExt() {
+	header("POSIX HEC extensions — openg()/openfh() group open (§2.2)")
+	fmt.Printf("%8s %18s %18s %10s\n", "procs", "posix open (ms)", "group open (ms)", "speedup")
+	for _, n := range []int{64, 256, 1024, 4096} {
+		p := posixext.RunOpen(posixext.DefaultOpenConfig(n, posixext.PosixOpen))
+		g := posixext.RunOpen(posixext.DefaultOpenConfig(n, posixext.GroupOpen))
+		fmt.Printf("%8d %18.2f %18.2f %9.0fx\n",
+			n, float64(p.Elapsed)*1e3, float64(g.Elapsed)*1e3,
+			float64(p.Elapsed)/float64(g.Elapsed))
+	}
+	l := posixext.Layout{StripeUnit: 64 << 10, StripeCount: 8}
+	fmt.Printf("layout query: 47008-byte records align to %d (misalignment was %.0f%%)\n",
+		l.AlignUp(47008), l.Misalignment(47008)*100)
+	fmt.Println("shape check: group open turns an O(N) metadata storm into one")
+	fmt.Println("resolution plus a log-depth broadcast")
+}
+
+// figDiskReduce: background erasure coding of replicated DISC storage.
+func figDiskReduce() {
+	header("DiskReduce — replication as a prelude to erasure coding (PDSW'09)")
+	cfg := diskreduce.DefaultConfig()
+	cfg.EncodeAfter = 10
+	traj := diskreduce.Simulate(cfg, 100, 120)
+	fmt.Printf("%8s %20s\n", "tick", "capacity overhead")
+	for _, tick := range []int{0, 5, 10, 20, 40, 80, 119} {
+		fmt.Printf("%8d %20.2f\n", tick, traj[tick])
+	}
+	fmt.Printf("RAID-6 group-of-8 floor: %.2fx; triplication: 3.00x\n",
+		diskreduce.RAID6Group.Overhead(cfg.GroupSize))
+	fmt.Println("shape check: overhead starts at 3x and converges toward the RAID floor")
+	fmt.Println("as cold blocks encode, while hot blocks keep replicas for locality")
+}
+
+// figDiag: peer-comparison diagnosis.
+func figDiag() {
+	header("Diagnosis — peer comparison on a 20-server PVFS-like cluster (§4.2.6)")
+	ev := diagnose.Evaluate(20, 30, 300, 5)
+	fmt.Printf("trials:               %d\n", ev.Trials)
+	fmt.Printf("true positive rate:   %.1f%%\n", ev.TPRate*100)
+	fmt.Printf("false pos per trial:  %.3f\n", ev.FPPerTrial)
+	fmt.Println("shape check: >= 66% correct identification, essentially no false alarms")
+}

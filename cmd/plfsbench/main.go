@@ -1,0 +1,98 @@
+// Command plfsbench measures checkpoint bandwidth for a chosen access
+// pattern on a simulated parallel file system, with or without PLFS
+// interposition.
+//
+// Examples:
+//
+//	plfsbench -fs lustre -servers 8 -ranks 64 -mb 4 -record 47008
+//	plfsbench -fs panfs -pattern nn
+//	plfsbench -sweep          # rank sweep comparing all patterns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pfs"
+	"repro/internal/workload"
+)
+
+func fsConfig(name string, servers int) (pfs.Config, bool) {
+	switch name {
+	case "panfs":
+		return pfs.PanFSLike(servers), true
+	case "lustre":
+		return pfs.LustreLike(servers), true
+	case "gpfs":
+		return pfs.GPFSLike(servers), true
+	}
+	return pfs.Config{}, false
+}
+
+func pattern(name string) (workload.Pattern, bool) {
+	switch name {
+	case "n1", "strided":
+		return workload.N1Strided, true
+	case "segmented":
+		return workload.N1Segmented, true
+	case "nn":
+		return workload.NN, true
+	case "plfs":
+		return workload.PLFSPattern, true
+	}
+	return 0, false
+}
+
+func main() {
+	var (
+		fsName  = flag.String("fs", "panfs", "file system preset: panfs, lustre, gpfs")
+		servers = flag.Int("servers", 8, "number of I/O servers")
+		ranks   = flag.Int("ranks", 32, "application ranks")
+		mbEach  = flag.Int64("mb", 4, "checkpoint MiB per rank")
+		record  = flag.Int64("record", 47008, "application record size in bytes")
+		pat     = flag.String("pattern", "n1", "pattern: n1, segmented, nn, plfs")
+		sweep   = flag.Bool("sweep", false, "sweep ranks {8,16,32,64,128} across all patterns")
+	)
+	flag.Parse()
+
+	cfg, ok := fsConfig(*fsName, *servers)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -fs %q\n", *fsName)
+		os.Exit(2)
+	}
+
+	if *sweep {
+		fmt.Printf("sweep on %s (%d servers), %d MiB/rank, %d B records\n",
+			cfg.Name, *servers, *mbEach, *record)
+		fmt.Printf("%8s %16s %16s %16s %16s\n", "ranks", "N-1 MB/s", "segmented MB/s", "N-N MB/s", "PLFS MB/s")
+		for _, r := range []int{8, 16, 32, 64, 128} {
+			row := []float64{}
+			for _, p := range []workload.Pattern{workload.N1Strided, workload.N1Segmented, workload.NN, workload.PLFSPattern} {
+				res := workload.Run(cfg, workload.Spec{
+					Ranks: r, BytesPerRank: *mbEach << 20, RecordSize: *record,
+					Pattern: p, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
+				})
+				row = append(row, res.Bandwidth/1e6)
+			}
+			fmt.Printf("%8d %16.1f %16.1f %16.1f %16.1f\n", r, row[0], row[1], row[2], row[3])
+		}
+		return
+	}
+
+	p, ok := pattern(*pat)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -pattern %q\n", *pat)
+		os.Exit(2)
+	}
+	res := workload.Run(cfg, workload.Spec{
+		Ranks: *ranks, BytesPerRank: *mbEach << 20, RecordSize: *record,
+		Pattern: p, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
+	})
+	fmt.Printf("file system:   %s (%d servers)\n", cfg.Name, *servers)
+	fmt.Printf("pattern:       %s\n", p)
+	fmt.Printf("ranks:         %d x %d MiB (records of %d B)\n", *ranks, *mbEach, *record)
+	fmt.Printf("elapsed:       %v\n", res.Elapsed)
+	fmt.Printf("bandwidth:     %.1f MB/s aggregate\n", res.Bandwidth/1e6)
+	fmt.Printf("metadata ops:  %d\n", res.MetadataOps)
+}

@@ -1,0 +1,46 @@
+// Checkpoint: run the same N-1 strided application checkpoint against
+// three simulated parallel file systems (PanFS-, Lustre-, GPFS-like),
+// directly and through PLFS, and report the bandwidth each achieves —
+// the experiment that motivated PLFS (Figure 8 of the PDSI report).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/pfs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		ranks        = 32
+		bytesPerRank = 4 << 20
+		recordSize   = 47008 // small, unaligned: the checkpoint pathology
+	)
+
+	fmt.Println("workload: ", ranks, "ranks x", bytesPerRank>>20, "MiB each,",
+		recordSize, "byte strided records into one shared file")
+	fmt.Println()
+
+	// First, look at the pattern itself the way LANL's Ninjat tool renders
+	// it: the file as a wrapped array, cells labeled by writing rank.
+	tr := trace.SyntheticN1Strided(8, 8, recordSize)
+	fmt.Println("Ninjat view of the shared file (8 ranks, '0'-'7'):")
+	for _, row := range tr.RenderMap(64, 4) {
+		fmt.Println(" ", row)
+	}
+	fmt.Println(" pattern classified as:", trace.Classify(tr))
+	fmt.Println()
+
+	fmt.Printf("%-14s %18s %16s %10s\n", "file system", "direct N-1 MB/s", "PLFS MB/s", "speedup")
+	for _, cfg := range pfs.AllPresets(8) {
+		direct, viaPLFS, ratio := workload.Speedup(cfg, ranks, bytesPerRank, recordSize)
+		fmt.Printf("%-14s %18.1f %16.1f %9.1fx\n",
+			cfg.Name, direct.Bandwidth/1e6, viaPLFS.Bandwidth/1e6, ratio)
+	}
+	fmt.Println()
+	fmt.Println("PLFS rewrites the strided pattern into per-rank sequential logs, so the")
+	fmt.Println("same hardware that crawled under false sharing and read-modify-write")
+	fmt.Println("streams at full speed — no application changes required.")
+}

@@ -1,0 +1,45 @@
+// Exascale: the PDSI fault-tolerance arithmetic (Figures 4 and 5). Project
+// chip counts and MTTI for top500-trend machines, derive the optimal
+// checkpoint interval year by year, and find when checkpoint/restart stops
+// making forward progress — then compare the report's mitigation options.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/failure"
+)
+
+func main() {
+	proj := failure.ReportProjection(18) // Moore's-law per-chip growth
+	const delta, restart = 600.0, 600.0  // 10-minute checkpoint capture
+
+	fmt.Println("balanced-system projection: 1 PFLOP / 20k chips in 2008,")
+	fmt.Println("system speed 2x/year, 0.1 interrupts per chip-year, 10 min checkpoints")
+	fmt.Println()
+	fmt.Printf("%6s %12s %14s %16s %14s %16s\n",
+		"year", "chips", "MTTI", "opt interval", "utilization", "process pairs")
+	points := failure.BalancedUtilization(proj, delta, restart, 2008, 2020)
+	for _, p := range points {
+		pp := failure.ProcessPairsUtilization(failure.Daly{Delta: delta, Restart: restart, MTTI: p.MTTI})
+		fmt.Printf("%6d %12.0f %11.1f min %13.1f min %14.1f%% %15.1f%%\n",
+			p.Year, p.Chips, p.MTTI/60, p.OptimalTau/60, p.Utilization*100, pp*100)
+	}
+	fmt.Printf("\ncheckpoint/restart utilization crosses 50%% in %d\n",
+		failure.CrossingYear(points, 0.5))
+
+	growth := failure.DiskGrowth(1.0, 0.2)
+	fmt.Printf("\nstorage-cost corollary: balanced bandwidth growth (100%%/yr) on disks\n")
+	fmt.Printf("improving 20%%/yr requires %.0f%%/yr more disks — compounding to %.0fx\n",
+		(growth-1)*100, pow(growth, 6))
+	fmt.Println("in six years, which is why PDSI judged it unaffordable and built PLFS,")
+	fmt.Println("process pairs, and checkpoint compression as the alternatives.")
+}
+
+func pow(b float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= b
+	}
+	return out
+}

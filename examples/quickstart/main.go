@@ -1,0 +1,86 @@
+// Quickstart: create a PLFS container, write to it from several
+// uncoordinated "ranks" (goroutines), and read the merged logical file
+// back — the core PLFS semantics in ~60 lines.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+
+	"repro/plfs"
+)
+
+func main() {
+	backend := plfs.NewMemBackend()
+	container, err := plfs.CreateContainer(backend, "/ckpt", plfs.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Eight ranks concurrently write an N-1 strided checkpoint: rank r owns
+	// every 8th record. No rank ever waits for another — each writes only
+	// to its own data and index logs inside the container.
+	const (
+		ranks   = 8
+		records = 4
+		recSize = 32
+	)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, err := container.OpenWriter(int32(r))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer w.Close()
+			for i := 0; i < records; i++ {
+				offset := int64((i*ranks + r) * recSize)
+				payload := bytes.Repeat([]byte{byte('A' + r)}, recSize)
+				if _, err := w.WriteAt(payload, offset); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Read the logical file: PLFS merges every writer's index on open.
+	reader, err := container.OpenReader()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reader.Close()
+
+	fmt.Printf("logical file size: %d bytes (%d ranks x %d records x %d B)\n",
+		reader.Size(), ranks, records, recSize)
+	fmt.Printf("index: %d raw entries -> %d resolved extents\n",
+		reader.Index().NumEntries(), reader.Index().NumExtents())
+
+	buf := make([]byte, reader.Size())
+	if _, err := reader.ReadAt(buf, 0); err != nil && err != io.EOF {
+		log.Fatal(err)
+	}
+	fmt.Printf("first records: %s...\n", buf[:ranks*recSize/2])
+
+	// Verify the interleaving round-tripped exactly.
+	for rec := 0; rec < ranks*records; rec++ {
+		want := byte('A' + rec%ranks)
+		if buf[rec*recSize] != want {
+			log.Fatalf("record %d corrupted: got %c want %c", rec, buf[rec*recSize], want)
+		}
+	}
+	fmt.Println("verified: every rank's strided records read back intact")
+
+	// Flatten materializes the resolved file as a plain flat file.
+	n, err := reader.Flatten("/ckpt.flat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flattened container to /ckpt.flat (%d bytes)\n", n)
+}

@@ -1,0 +1,94 @@
+// Transparent: use PLFS through its FUSE-flavored Mount, the interface
+// that made PLFS deployable with *no application changes*: an application
+// that thinks it's doing plain file I/O gets per-process logs underneath.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sync"
+
+	"repro/plfs"
+)
+
+// checkpointWriter stands in for an application that knows nothing about
+// PLFS: it just has something satisfying WriteAt.
+type checkpointWriter interface {
+	WriteAt(p []byte, off int64) (int, error)
+}
+
+// appCheckpoint is the "unmodified application": it writes its strided
+// region of a shared checkpoint through a plain interface.
+func appCheckpoint(w checkpointWriter, rank, ranks, records int, recSize int64) error {
+	payload := make([]byte, recSize)
+	for i := range payload {
+		payload[i] = byte('0' + rank)
+	}
+	for i := 0; i < records; i++ {
+		off := (int64(i)*int64(ranks) + int64(rank)) * recSize
+		if _, err := w.WriteAt(payload, off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	backend := plfs.NewMemBackend()
+	mount, err := plfs.NewMount(backend, "/mnt/plfs", plfs.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		ranks   = 6
+		records = 5
+		recSize = int64(64)
+	)
+
+	// Every "process" opens the same logical path and writes through it.
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := mount.OpenFile("ckpt/timestep-0042", int32(rank), true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := appCheckpoint(f, rank, ranks, records, recSize); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A restart tool later reads the file back as an io.Reader.
+	f, err := mount.OpenFile("ckpt/timestep-0042", 999, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	size, _ := f.Size()
+	fmt.Printf("logical checkpoint: %d bytes from %d uncoordinated writers\n", size, ranks)
+
+	data, err := io.ReadAll(plfs.NewReadSeeker(f))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first bytes: %s...\n", data[:ranks*int(recSize)/4])
+	for rec := 0; rec < ranks*records; rec++ {
+		want := byte('0' + rec%ranks)
+		if data[int64(rec)*recSize] != want {
+			log.Fatalf("record %d corrupted", rec)
+		}
+	}
+	fmt.Println("verified: the strided interleaving reassembled exactly")
+	fmt.Println()
+	fmt.Println("the application never imported anything PLFS-specific beyond the")
+	fmt.Println("mount handle — that transparency is why LANL could deploy PLFS under")
+	fmt.Println("production codes without modifying them.")
+}

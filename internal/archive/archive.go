@@ -1,0 +1,269 @@
+// Package archive models the UCSC power-managed disk archival storage
+// exploration (Pergamum, Storer et al. FAST'08, and the MASCOTS'10
+// heterogeneous-archive energy study the report describes): an archive
+// built from mostly-idle disks that spin down between accesses, evaluated
+// for energy use and access latency against an always-on array and a
+// tape-library stand-in. The study's counter-intuitive finding is
+// reproduced: under some placements, *more* devices can save energy,
+// because spreading the working set lets more disks stay asleep, and
+// at very low request rates placement policy barely matters because
+// standby power dominates.
+package archive
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DiskPower describes one archival disk's power/performance envelope.
+type DiskPower struct {
+	ActiveWatts  float64  // spinning + seeking
+	IdleWatts    float64  // spinning, no I/O
+	StandbyWatts float64  // spun down
+	SpinUp       sim.Time // standby -> ready
+	SpinUpJoules float64  // energy cost of one spin-up
+	Bandwidth    float64  // bytes/second while active
+}
+
+// ArchivalDisk2008 approximates a low-power SATA drive of the study era.
+func ArchivalDisk2008() DiskPower {
+	return DiskPower{
+		ActiveWatts:  11,
+		IdleWatts:    8,
+		StandbyWatts: 1,
+		SpinUp:       10,
+		SpinUpJoules: 120,
+		Bandwidth:    70e6,
+	}
+}
+
+// Policy selects how objects map to disks.
+type Policy int
+
+// Placement policies from the study.
+const (
+	// Striped spreads every object across all disks (RAID-style): any
+	// access wakes everything.
+	Striped Policy = iota
+	// Packed fills disks one at a time: accesses concentrate on few disks.
+	Packed
+	// SemanticGroups clusters related objects (same dataset) on the same
+	// disk, so a burst of related reads wakes one disk only.
+	SemanticGroups
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Striped:
+		return "striped"
+	case Packed:
+		return "packed"
+	case SemanticGroups:
+		return "semantic-groups"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes the archive and workload.
+type Config struct {
+	Disks  int
+	Disk   DiskPower
+	Policy Policy
+	// SpinDownAfter is the idle time before a disk spins down.
+	SpinDownAfter sim.Time
+	// Objects is the number of stored objects; Groups the number of
+	// semantic clusters they form.
+	Objects int
+	Groups  int
+	// ReadMean is the mean inter-arrival of read requests (exponential),
+	// and ObjectSize the bytes read per request.
+	ReadMean   sim.Time
+	ObjectSize int64
+	Duration   sim.Time
+	Seed       int64
+	// GroupLocality is the probability a request stays in the previous
+	// request's semantic group (burstiness of related accesses).
+	GroupLocality float64
+}
+
+// DefaultConfig is a small archive under a light, bursty read load.
+func DefaultConfig(disks int, policy Policy) Config {
+	return Config{
+		Disks:         disks,
+		Disk:          ArchivalDisk2008(),
+		Policy:        policy,
+		SpinDownAfter: 60,
+		Objects:       10000,
+		Groups:        50,
+		ReadMean:      30,
+		ObjectSize:    256 << 20,
+		Duration:      24 * 3600,
+		Seed:          1,
+		GroupLocality: 0.8,
+	}
+}
+
+// Result reports energy and latency for one run.
+type Result struct {
+	Config        Config
+	Joules        float64
+	AvgWatts      float64
+	Requests      int
+	SpinUps       int
+	MeanLatency   sim.Time
+	P99Latency    sim.Time
+	DiskSleepFrac float64 // average fraction of disk-time spent in standby
+}
+
+// diskState tracks one disk's power timeline.
+type diskState struct {
+	spinning   bool
+	lastChange sim.Time
+	busyUntil  sim.Time
+	spinJoules float64
+	spinSecs   float64 // seconds spent spinning (idle or active)
+	sleepSecs  float64
+	activeSecs float64
+	spinUps    int
+}
+
+// Run simulates the archive.
+func Run(cfg Config) Result {
+	if cfg.Disks < 1 || cfg.Objects < 1 || cfg.Duration <= 0 {
+		panic(fmt.Sprintf("archive: invalid config %+v", cfg))
+	}
+	if cfg.Groups < 1 {
+		cfg.Groups = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	disks := make([]diskState, cfg.Disks)
+	now := sim.Time(0)
+	var res Result
+	res.Config = cfg
+	var latencies []float64
+	prevGroup := 0
+
+	// account transitions a disk's timeline up to time t.
+	account := func(d *diskState, t sim.Time) {
+		span := float64(t - d.lastChange)
+		if span < 0 {
+			span = 0
+		}
+		if d.spinning {
+			d.spinSecs += span
+		} else {
+			d.sleepSecs += span
+		}
+		d.lastChange = t
+	}
+
+	interarrival := stats.Exponential{Rate: 1 / float64(cfg.ReadMean)}
+	for {
+		gap := sim.Time(interarrival.Sample(r))
+		next := now + gap
+		if next > cfg.Duration {
+			break
+		}
+		// Spin-down pass: any spinning disk idle long enough sleeps at
+		// (its idle start + SpinDownAfter).
+		for i := range disks {
+			d := &disks[i]
+			if d.spinning && next-d.busyUntil > cfg.SpinDownAfter {
+				downAt := d.busyUntil + cfg.SpinDownAfter
+				if downAt < d.lastChange {
+					downAt = d.lastChange
+				}
+				account(d, downAt)
+				d.spinning = false
+			}
+		}
+		now = next
+		res.Requests++
+
+		// Pick the object and its disk set.
+		group := prevGroup
+		if r.Float64() > cfg.GroupLocality {
+			group = r.Intn(cfg.Groups)
+		}
+		prevGroup = group
+		obj := group*(cfg.Objects/cfg.Groups) + r.Intn(cfg.Objects/cfg.Groups)
+		var targets []int
+		switch cfg.Policy {
+		case Striped:
+			targets = make([]int, cfg.Disks)
+			for i := range targets {
+				targets[i] = i
+			}
+		case Packed:
+			targets = []int{obj * cfg.Disks / cfg.Objects}
+		case SemanticGroups:
+			targets = []int{group % cfg.Disks}
+		}
+
+		// Serve: wake sleeping targets; transfer split across targets.
+		var latency sim.Time
+		per := cfg.ObjectSize / int64(len(targets))
+		for _, i := range targets {
+			d := &disks[i]
+			account(d, now)
+			if !d.spinning {
+				d.spinning = true
+				d.spinUps++
+				res.SpinUps++
+				d.spinJoules += cfg.Disk.SpinUpJoules
+				if cfg.Disk.SpinUp > latency {
+					latency = cfg.Disk.SpinUp
+				}
+			}
+			xfer := sim.Time(float64(per) / cfg.Disk.Bandwidth)
+			d.activeSecs += float64(xfer)
+			end := now + cfg.Disk.SpinUp + xfer
+			if end > d.busyUntil {
+				d.busyUntil = end
+			}
+		}
+		latency += sim.Time(float64(per) / cfg.Disk.Bandwidth)
+		latencies = append(latencies, float64(latency))
+	}
+
+	// Close out the timeline.
+	for i := range disks {
+		d := &disks[i]
+		if d.spinning && cfg.Duration-d.busyUntil > cfg.SpinDownAfter {
+			downAt := d.busyUntil + cfg.SpinDownAfter
+			if downAt > d.lastChange && downAt < cfg.Duration {
+				account(d, downAt)
+				d.spinning = false
+			}
+		}
+		account(d, cfg.Duration)
+	}
+
+	var sleepFrac float64
+	for i := range disks {
+		d := &disks[i]
+		res.Joules += d.spinSecs*cfg.Disk.IdleWatts +
+			d.activeSecs*(cfg.Disk.ActiveWatts-cfg.Disk.IdleWatts) +
+			d.sleepSecs*cfg.Disk.StandbyWatts +
+			d.spinJoules
+		sleepFrac += d.sleepSecs / float64(cfg.Duration)
+	}
+	res.DiskSleepFrac = sleepFrac / float64(cfg.Disks)
+	res.AvgWatts = res.Joules / float64(cfg.Duration)
+	if len(latencies) > 0 {
+		s := stats.Summarize(latencies)
+		res.MeanLatency = sim.Time(s.Mean)
+		res.P99Latency = sim.Time(s.P99)
+	}
+	return res
+}
+
+// AlwaysOnWatts is the power of a conventional array of the same size that
+// never spins down (the energy baseline).
+func AlwaysOnWatts(cfg Config) float64 {
+	return float64(cfg.Disks) * cfg.Disk.IdleWatts
+}

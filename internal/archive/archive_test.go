@@ -1,0 +1,129 @@
+package archive
+
+import (
+	"testing"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	if Striped.String() != "striped" || Packed.String() != "packed" ||
+		SemanticGroups.String() != "semantic-groups" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	Run(Config{})
+}
+
+func TestRunProducesRequestsAndEnergy(t *testing.T) {
+	res := Run(DefaultConfig(16, SemanticGroups))
+	if res.Requests < 100 {
+		t.Fatalf("only %d requests in 24h at 30s mean", res.Requests)
+	}
+	if res.Joules <= 0 || res.AvgWatts <= 0 {
+		t.Fatalf("no energy accounted: %+v", res)
+	}
+	if res.MeanLatency <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+func TestPowerManagedArchiveBeatsAlwaysOn(t *testing.T) {
+	cfg := DefaultConfig(16, SemanticGroups)
+	res := Run(cfg)
+	alwaysOn := AlwaysOnWatts(cfg)
+	if res.AvgWatts >= alwaysOn {
+		t.Fatalf("power-managed %f W should beat always-on %f W", res.AvgWatts, alwaysOn)
+	}
+	if res.DiskSleepFrac < 0.3 {
+		t.Fatalf("sleep fraction %v too low for an archival workload", res.DiskSleepFrac)
+	}
+}
+
+func TestStripedWakesEverythingAndBurnsPower(t *testing.T) {
+	striped := Run(DefaultConfig(16, Striped))
+	grouped := Run(DefaultConfig(16, SemanticGroups))
+	if striped.AvgWatts <= grouped.AvgWatts {
+		t.Fatalf("striped %f W should exceed semantic groups %f W",
+			striped.AvgWatts, grouped.AvgWatts)
+	}
+	if striped.SpinUps <= grouped.SpinUps {
+		t.Fatalf("striped spin-ups %d should exceed grouped %d",
+			striped.SpinUps, grouped.SpinUps)
+	}
+}
+
+func TestSemanticGroupingReducesSpinUpsVsPacked(t *testing.T) {
+	// Grouped placement keeps bursts of related requests on the already-
+	// spinning disk; packed placement scatters groups across disks.
+	grouped := Run(DefaultConfig(24, SemanticGroups))
+	packed := Run(DefaultConfig(24, Packed))
+	if grouped.SpinUps > packed.SpinUps {
+		t.Fatalf("grouped spin-ups %d should not exceed packed %d",
+			grouped.SpinUps, packed.SpinUps)
+	}
+}
+
+func TestMoreDisksCanSaveEnergy(t *testing.T) {
+	// The study's counter-intuitive result: with semantic grouping, more
+	// disks can *reduce* energy per unit time at low request rates,
+	// because the active group is isolated and everything else sleeps —
+	// but only if standby power is low. Compare per-disk watts: the
+	// bigger archive must not burn proportionally more.
+	small := Run(DefaultConfig(8, SemanticGroups))
+	big := Run(DefaultConfig(32, SemanticGroups))
+	perSmall := small.AvgWatts / 8
+	perBig := big.AvgWatts / 32
+	if perBig >= perSmall {
+		t.Fatalf("per-disk watts should fall with scale: 8 disks %f, 32 disks %f",
+			perSmall, perBig)
+	}
+}
+
+func TestLowRateMakesPlacementIrrelevant(t *testing.T) {
+	// "Under very low read and write rates, data placement policies have
+	// minimal impact as [standby] power usage dominates."
+	slow := func(p Policy) Result {
+		cfg := DefaultConfig(16, p)
+		cfg.ReadMean = 4 * 3600 // one request every ~4 hours
+		cfg.Duration = 7 * 24 * 3600
+		return Run(cfg)
+	}
+	packed := slow(Packed)
+	grouped := slow(SemanticGroups)
+	ratio := packed.AvgWatts / grouped.AvgWatts
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Fatalf("at negligible load policies should converge: packed %f W vs grouped %f W",
+			packed.AvgWatts, grouped.AvgWatts)
+	}
+}
+
+func TestSpinUpLatencyVisible(t *testing.T) {
+	cfg := DefaultConfig(8, SemanticGroups)
+	cfg.GroupLocality = 0 // every request jumps groups: cold disks
+	cfg.ReadMean = 600    // long gaps so disks spin down between requests
+	res := Run(cfg)
+	if res.P99Latency < cfg.Disk.SpinUp {
+		t.Fatalf("p99 latency %v should include spin-up %v", res.P99Latency, cfg.Disk.SpinUp)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(DefaultConfig(8, Packed))
+	b := Run(DefaultConfig(8, Packed))
+	if a.Joules != b.Joules || a.Requests != b.Requests {
+		t.Fatal("non-deterministic archive run")
+	}
+}
+
+func TestAlwaysOnWattsScale(t *testing.T) {
+	cfg := DefaultConfig(10, Packed)
+	if got := AlwaysOnWatts(cfg); got != 10*cfg.Disk.IdleWatts {
+		t.Fatalf("AlwaysOnWatts = %v", got)
+	}
+}

@@ -1,0 +1,336 @@
+// Package argon models Argon (Wachs et al., FAST'07) and its cluster
+// co-scheduling extension (Figure 10 of the report): performance
+// insulation for shared storage servers. When a streaming job and a
+// small-random-I/O job share disks, naive request interleaving destroys
+// the streamer's sequentiality and total efficiency collapses. Argon
+// timeslices the disk head, giving each job long exclusive slices so each
+// achieves nearly its fair share of standalone performance (within a
+// ~10% "guard band"). On striped multi-server storage a second problem
+// appears: if each server timeslices on its own phase, a striped client
+// waits for the *last* server's slice, so slices must be co-scheduled
+// across servers to recover ~90% of best case.
+package argon
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Policy selects the sharing discipline.
+type Policy int
+
+// Policies under comparison.
+const (
+	// Interleave is the uninsulated baseline: FIFO alternation between
+	// jobs at each server.
+	Interleave Policy = iota
+	// TimesliceUnsync gives each job exclusive disk slices, but each
+	// server picks its own slice phase.
+	TimesliceUnsync
+	// TimesliceCoSched aligns slice phases across all servers.
+	TimesliceCoSched
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Interleave:
+		return "interleave"
+	case TimesliceUnsync:
+		return "timeslice-unsync"
+	case TimesliceCoSched:
+		return "timeslice-cosched"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes the shared-storage experiment.
+type Config struct {
+	Servers   int
+	Disk      disk.Geometry
+	Policy    Policy
+	Slice     sim.Time // timeslice length per job
+	Duration  sim.Time // simulated run length
+	StreamReq int64    // streaming job request size per server
+	RandReq   int64    // random job request size
+}
+
+// DefaultConfig mirrors the Ursa Minor experiments: a streaming job with
+// 1 MiB per-server requests against a 4 KiB random-I/O job.
+func DefaultConfig(servers int, policy Policy) Config {
+	return Config{
+		Servers:   servers,
+		Disk:      disk.Enterprise2006(),
+		Policy:    policy,
+		Slice:     sim.Time(100e-3),
+		Duration:  20,
+		StreamReq: 1 << 20,
+		RandReq:   4096,
+	}
+}
+
+// Result reports each job's achieved throughput.
+type Result struct {
+	Config      Config
+	StreamBytes int64
+	RandOps     int64
+	// StreamBps and RandIOPS are the achieved rates.
+	StreamBps float64
+	RandIOPS  float64
+}
+
+// jobID distinguishes the two tenants.
+type jobID int
+
+const (
+	streamJob jobID = iota
+	randJob
+)
+
+type srv struct {
+	dsk *disk.Disk
+	// busy marks the disk in service; queues hold pending requests per job.
+	busy   bool
+	queues [2][]*req
+	// streamPos and randRegion place the two jobs in different disk
+	// regions, so switching between them costs a real seek.
+	streamPos int64
+	rngState  uint64
+	// lastServed drives fair alternation under the Interleave policy.
+	lastServed jobID
+}
+
+type req struct {
+	job  jobID
+	size int64
+	done func()
+}
+
+type experiment struct {
+	cfg Config
+	eng *sim.Engine
+	srv []*srv
+	res Result
+}
+
+// sliceOwner returns which job owns server s's disk at time t.
+func (e *experiment) sliceOwner(s int, t sim.Time) jobID {
+	period := 2 * e.cfg.Slice
+	phase := sim.Time(0)
+	if e.cfg.Policy == TimesliceUnsync {
+		// Deterministic staggered phases.
+		phase = sim.Time(float64(s)) * period / sim.Time(float64(e.cfg.Servers))
+	}
+	pos := t + phase
+	inPeriod := pos - sim.Time(float64(int64(float64(pos)/float64(period))))*period
+	if inPeriod < e.cfg.Slice {
+		return streamJob
+	}
+	return randJob
+}
+
+// nextBoundary returns when server s's slice ownership next changes. The
+// result is guaranteed strictly after t: at an exact boundary, floating
+// point can otherwise round the "next" boundary back onto t and livelock
+// the wake-up loop.
+func (e *experiment) nextBoundary(s int, t sim.Time) sim.Time {
+	period := 2 * e.cfg.Slice
+	phase := sim.Time(0)
+	if e.cfg.Policy == TimesliceUnsync {
+		phase = sim.Time(float64(s)) * period / sim.Time(float64(e.cfg.Servers))
+	}
+	pos := float64(t + phase)
+	half := float64(e.cfg.Slice)
+	k := float64(int64(pos/half)) + 1
+	next := sim.Time(k*half) - phase
+	if next <= t {
+		next = t + e.cfg.Slice/2
+	}
+	return next
+}
+
+// xorshift gives each server a deterministic random offset stream for the
+// random job without sharing state across servers.
+func (s *srv) nextRandOffset(capacity int64) int64 {
+	s.rngState ^= s.rngState << 13
+	s.rngState ^= s.rngState >> 7
+	s.rngState ^= s.rngState << 17
+	v := int64(s.rngState % uint64(capacity/2))
+	return capacity/2 + v - v%4096 // random job lives in the upper half
+}
+
+// Run executes the experiment.
+func Run(cfg Config) Result {
+	if cfg.Servers < 1 || cfg.Slice <= 0 || cfg.Duration <= 0 {
+		panic(fmt.Sprintf("argon: invalid config %+v", cfg))
+	}
+	e := &experiment{cfg: cfg, eng: sim.NewEngine()}
+	e.res.Config = cfg
+	for i := 0; i < cfg.Servers; i++ {
+		e.srv = append(e.srv, &srv{dsk: disk.New(cfg.Disk), rngState: uint64(i)*2654435761 + 1})
+	}
+	e.startStream()
+	for i := range e.srv {
+		e.pumpRandom(i)
+	}
+	e.eng.RunUntil(cfg.Duration)
+	e.res.StreamBps = float64(e.res.StreamBytes) / float64(cfg.Duration)
+	e.res.RandIOPS = float64(e.res.RandOps) / float64(cfg.Duration)
+	return e.res
+}
+
+// startStream issues striped rows: one StreamReq per server, next row only
+// after every server finishes (the synchronous striped client of the
+// report's co-scheduling experiment).
+func (e *experiment) startStream() {
+	var row func()
+	row = func() {
+		if e.eng.Now() >= e.cfg.Duration {
+			return
+		}
+		barrier := sim.NewBarrier(e.eng, e.cfg.Servers, func(sim.Time) { row() })
+		for i := range e.srv {
+			i := i
+			e.enqueue(i, &req{job: streamJob, size: e.cfg.StreamReq, done: func() {
+				e.res.StreamBytes += e.cfg.StreamReq
+				barrier.Arrive()
+			}})
+		}
+	}
+	row()
+}
+
+// pumpRandom keeps one random request outstanding per server.
+func (e *experiment) pumpRandom(s int) {
+	if e.eng.Now() >= e.cfg.Duration {
+		return
+	}
+	e.enqueue(s, &req{job: randJob, size: e.cfg.RandReq, done: func() {
+		e.res.RandOps++
+		e.pumpRandom(s)
+	}})
+}
+
+func (e *experiment) enqueue(s int, r *req) {
+	sv := e.srv[s]
+	sv.queues[r.job] = append(sv.queues[r.job], r)
+	if !sv.busy {
+		e.dispatch(s)
+	}
+}
+
+// dispatch picks the next request at server s per policy and serves it.
+func (e *experiment) dispatch(s int) {
+	sv := e.srv[s]
+	if sv.busy {
+		return
+	}
+	var r *req
+	switch e.cfg.Policy {
+	case Interleave:
+		// FIFO across jobs: alternate when both have work, serving the job
+		// not served last — the uninsulated sharing that shreds the
+		// streamer's sequentiality.
+		if len(sv.queues[streamJob]) > 0 && len(sv.queues[randJob]) > 0 {
+			r = e.pop(sv, 1-sv.lastServed)
+		} else if len(sv.queues[streamJob]) > 0 {
+			r = e.pop(sv, streamJob)
+		} else if len(sv.queues[randJob]) > 0 {
+			r = e.pop(sv, randJob)
+		}
+	case TimesliceUnsync, TimesliceCoSched:
+		owner := e.sliceOwner(s, e.eng.Now())
+		if len(sv.queues[owner]) > 0 {
+			r = e.pop(sv, owner)
+		} else {
+			// Strict insulation: idle until the boundary (the other job's
+			// work waits for its own slice). Wake at the boundary.
+			if len(sv.queues[1-owner]) > 0 {
+				wake := e.nextBoundary(s, e.eng.Now())
+				if wake < e.cfg.Duration {
+					e.eng.At(wake, func() { e.dispatch(s) })
+				}
+			}
+			return
+		}
+	}
+	if r == nil {
+		return
+	}
+	sv.lastServed = r.job
+	sv.busy = true
+	var svc sim.Time
+	if r.job == streamJob {
+		svc = sv.dsk.Access(sv.streamPos, r.size)
+		sv.streamPos += r.size
+		if sv.streamPos > e.cfg.Disk.CapacityBytes/2-r.size {
+			sv.streamPos = 0
+		}
+	} else {
+		svc = sv.dsk.Access(sv.nextRandOffset(e.cfg.Disk.CapacityBytes), r.size)
+	}
+	e.eng.Schedule(svc, func() {
+		sv.busy = false
+		r.done()
+		e.dispatch(s)
+	})
+}
+
+func (e *experiment) pop(sv *srv, j jobID) *req {
+	q := sv.queues[j]
+	r := q[0]
+	copy(q, q[1:])
+	sv.queues[j] = q[:len(q)-1]
+	return r
+}
+
+// SoloStream measures the streaming job running alone (its standalone
+// baseline for insulation math).
+func SoloStream(cfg Config) float64 {
+	c := cfg
+	c.Policy = Interleave
+	e := &experiment{cfg: c, eng: sim.NewEngine()}
+	for i := 0; i < c.Servers; i++ {
+		e.srv = append(e.srv, &srv{dsk: disk.New(c.Disk), rngState: uint64(i) + 1})
+	}
+	e.startStream()
+	e.eng.RunUntil(c.Duration)
+	return float64(e.res.StreamBytes) / float64(c.Duration)
+}
+
+// SoloRandom measures the random job running alone.
+func SoloRandom(cfg Config) float64 {
+	c := cfg
+	c.Policy = Interleave
+	e := &experiment{cfg: c, eng: sim.NewEngine()}
+	for i := 0; i < c.Servers; i++ {
+		e.srv = append(e.srv, &srv{dsk: disk.New(c.Disk), rngState: uint64(i)*2654435761 + 1})
+		e.pumpRandom(i)
+	}
+	e.eng.RunUntil(c.Duration)
+	return float64(e.res.RandOps) / float64(c.Duration)
+}
+
+// Insulation summarizes a shared run against solo baselines: each job's
+// achieved fraction of its standalone throughput. Perfect fair sharing
+// would give 0.5 each; Argon promises >= share minus a small guard band.
+type Insulation struct {
+	Policy         Policy
+	StreamFraction float64
+	RandFraction   float64
+}
+
+// Measure runs solo baselines and the shared configuration and reports
+// fractions.
+func Measure(cfg Config) Insulation {
+	soloS := SoloStream(cfg)
+	soloR := SoloRandom(cfg)
+	shared := Run(cfg)
+	return Insulation{
+		Policy:         cfg.Policy,
+		StreamFraction: shared.StreamBps / soloS,
+		RandFraction:   shared.RandIOPS / soloR,
+	}
+}

@@ -1,0 +1,128 @@
+package argon
+
+import (
+	"testing"
+)
+
+func TestPolicyString(t *testing.T) {
+	if Interleave.String() != "interleave" ||
+		TimesliceUnsync.String() != "timeslice-unsync" ||
+		TimesliceCoSched.String() != "timeslice-cosched" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	Run(Config{})
+}
+
+func TestSoloBaselinesSane(t *testing.T) {
+	cfg := DefaultConfig(1, Interleave)
+	cfg.Duration = 5
+	bps := SoloStream(cfg)
+	// A lone streamer on an 80MB/s disk should get most of the bandwidth.
+	if bps < 0.5*cfg.Disk.SeqBandwidth {
+		t.Fatalf("solo stream %.0f B/s, want >= half of %.0f", bps, cfg.Disk.SeqBandwidth)
+	}
+	iops := SoloRandom(cfg)
+	if iops < 50 || iops > 400 {
+		t.Fatalf("solo random IOPS = %.0f, want O(100)", iops)
+	}
+}
+
+func TestInterleavingHurtsTotalEfficiency(t *testing.T) {
+	// The uninsulated baseline: fractions of solo throughput sum well
+	// below 1 because the streamer loses its sequentiality.
+	cfg := DefaultConfig(1, Interleave)
+	cfg.Duration = 5
+	ins := Measure(cfg)
+	if sum := ins.StreamFraction + ins.RandFraction; sum > 0.85 {
+		t.Fatalf("uninsulated efficiency sum = %.2f, expected inefficiency (< 0.85)", sum)
+	}
+}
+
+func TestTimeslicingInsulatesBothJobs(t *testing.T) {
+	// Argon's promise: each job gets close to its fair share (0.5) minus a
+	// small guard band.
+	cfg := DefaultConfig(1, TimesliceCoSched)
+	cfg.Duration = 5
+	ins := Measure(cfg)
+	if ins.StreamFraction < 0.40 {
+		t.Fatalf("stream fraction = %.2f, want >= 0.40 (fair share - guard band)", ins.StreamFraction)
+	}
+	if ins.RandFraction < 0.40 {
+		t.Fatalf("random fraction = %.2f, want >= 0.40", ins.RandFraction)
+	}
+}
+
+func TestTimeslicingBeatsInterleavingForStreamer(t *testing.T) {
+	base := DefaultConfig(1, Interleave)
+	base.Duration = 5
+	ts := DefaultConfig(1, TimesliceCoSched)
+	ts.Duration = 5
+	a, b := Measure(base), Measure(ts)
+	if b.StreamFraction <= a.StreamFraction {
+		t.Fatalf("timeslicing stream fraction %.2f should beat interleaving %.2f",
+			b.StreamFraction, a.StreamFraction)
+	}
+}
+
+func TestCoSchedulingBeatsUnsyncOnStripedCluster(t *testing.T) {
+	// Figure 10's right-hand result: on a multi-server stripe the
+	// synchronous client waits for the last server, so unsynchronized
+	// slices underperform co-scheduled ones.
+	unsync := DefaultConfig(8, TimesliceUnsync)
+	unsync.Duration = 5
+	co := DefaultConfig(8, TimesliceCoSched)
+	co.Duration = 5
+	u, c := Run(unsync), Run(co)
+	if c.StreamBps <= u.StreamBps {
+		t.Fatalf("co-scheduled stream %.0f should beat unsync %.0f", c.StreamBps, u.StreamBps)
+	}
+	if c.StreamBps < 1.5*u.StreamBps {
+		t.Fatalf("co-scheduling advantage only %.2fx, want pronounced (>= 1.5x)",
+			c.StreamBps/u.StreamBps)
+	}
+}
+
+func TestCoSchedulingNearBestCase(t *testing.T) {
+	// "delivering about 90% of the best case": best case here is the
+	// stream's fair share of solo striped bandwidth.
+	cfg := DefaultConfig(4, TimesliceCoSched)
+	cfg.Duration = 5
+	solo := SoloStream(cfg)
+	shared := Run(cfg)
+	share := shared.StreamBps / (solo / 2)
+	if share < 0.75 {
+		t.Fatalf("co-scheduled stream at %.0f%% of fair share, want >= 75%%", share*100)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := DefaultConfig(2, TimesliceUnsync)
+	cfg.Duration = 3
+	a, b := Run(cfg), Run(cfg)
+	if a.StreamBytes != b.StreamBytes || a.RandOps != b.RandOps {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRandomJobUnaffectedByServerCount(t *testing.T) {
+	// The random job is per-server closed-loop; per-server IOPS should be
+	// roughly constant as servers scale.
+	c1 := DefaultConfig(1, TimesliceCoSched)
+	c1.Duration = 3
+	c4 := DefaultConfig(4, TimesliceCoSched)
+	c4.Duration = 3
+	r1, r4 := Run(c1), Run(c4)
+	per1 := r1.RandIOPS
+	per4 := r4.RandIOPS / 4
+	if per4 < per1*0.5 || per4 > per1*2 {
+		t.Fatalf("per-server random IOPS changed wildly: %v vs %v", per1, per4)
+	}
+}

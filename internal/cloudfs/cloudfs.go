@@ -1,0 +1,242 @@
+// Package cloudfs models the PDSI "parallel file systems for cloud
+// computing" study (Figure 12 of the report; Tantisiriroj et al.):
+// replacing HDFS under Hadoop with a parallel file system (PVFS) through a
+// thin shim. The naive shim made a large text search run more than twice
+// as slowly as native Hadoop-on-HDFS; adding HDFS-style client readahead
+// to the shim recovered most of the gap; exposing the parallel file
+// system's replica layout to the Hadoop scheduler (so map tasks run where
+// their data lives) closed it.
+//
+// The model: W worker nodes double as data nodes. A job is M map tasks,
+// each scanning one block. The scheduler assigns tasks to free workers,
+// preferring data-local tasks when layout is visible. Local reads stream
+// from the node's disk; remote reads cross a shared core switch. Without
+// readahead every small request pays a round trip, halving effective
+// bandwidth — exactly the shim-tuning story.
+package cloudfs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Mode selects the storage stack under Hadoop.
+type Mode int
+
+// Stacks compared in Figure 12.
+const (
+	// HDFSNative: readahead + location-aware scheduling.
+	HDFSNative Mode = iota
+	// PVFSNaive: small synchronous reads, no layout exposure.
+	PVFSNaive
+	// PVFSReadahead: shim buffers like HDFS's client, still no layout.
+	PVFSReadahead
+	// PVFSLayout: readahead + replica locations exposed via extended
+	// attributes, enabling local task placement.
+	PVFSLayout
+)
+
+func (m Mode) String() string {
+	switch m {
+	case HDFSNative:
+		return "hadoop-on-hdfs"
+	case PVFSNaive:
+		return "pvfs-shim-naive"
+	case PVFSReadahead:
+		return "pvfs-shim+readahead"
+	case PVFSLayout:
+		return "pvfs-shim+readahead+layout"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// readahead reports whether the mode buffers large reads.
+func (m Mode) readahead() bool { return m != PVFSNaive }
+
+// locationAware reports whether the scheduler can see replica placement.
+func (m Mode) locationAware() bool { return m == HDFSNative || m == PVFSLayout }
+
+// Params describes the cluster and job.
+type Params struct {
+	Workers   int
+	Tasks     int
+	BlockSize int64
+	Replicas  int
+	// CoreBandwidth is the shared switch capacity for remote reads.
+	CoreBandwidth float64
+	// NodeBandwidth is a node's NIC speed.
+	NodeBandwidth float64
+	// SmallRead is the request size without readahead; RPC its round trip.
+	SmallRead int64
+	RPC       sim.Time
+	// CPUPerBlock is the map function's compute time per block.
+	CPUPerBlock sim.Time
+	Seed        int64
+}
+
+// DefaultParams models the M45-style cluster of the study.
+func DefaultParams(workers, tasks int) Params {
+	return Params{
+		Workers:       workers,
+		Tasks:         tasks,
+		BlockSize:     64 << 20,
+		Replicas:      3,
+		CoreBandwidth: 6e9 / 8, // oversubscribed shared core
+		NodeBandwidth: 1e9 / 8,
+		SmallRead:     32 << 10,
+		RPC:           sim.Time(800e-6),
+		CPUPerBlock:   sim.Time(200e-3),
+		Seed:          7,
+	}
+}
+
+// Result reports one job execution.
+type Result struct {
+	Mode        Mode
+	Elapsed     sim.Time
+	Throughput  float64 // bytes/second scanned
+	LocalReads  int
+	RemoteReads int
+}
+
+// Run executes the map phase under the given mode.
+func Run(p Params, mode Mode) Result {
+	if p.Workers < 1 || p.Tasks < 1 || p.Replicas < 1 {
+		panic(fmt.Sprintf("cloudfs: invalid params %+v", p))
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	eng := sim.NewEngine()
+
+	// Replica placement: block b on Replicas distinct nodes.
+	replicas := make([][]int, p.Tasks)
+	for b := range replicas {
+		perm := r.Perm(p.Workers)
+		n := p.Replicas
+		if n > p.Workers {
+			n = p.Workers
+		}
+		replicas[b] = perm[:n]
+	}
+
+	dsk := disk.Enterprise2006()
+	localRead := sim.Time(float64(p.BlockSize) / dsk.SeqBandwidth)
+
+	core := sim.NewServer(eng, 1) // shared core switch
+	var res Result
+	res.Mode = mode
+
+	// Task queue and per-worker state.
+	pendingTasks := make([]int, p.Tasks)
+	for i := range pendingTasks {
+		pendingTasks[i] = i
+	}
+	taken := make([]bool, p.Tasks)
+	remaining := p.Tasks
+
+	isLocal := func(task, worker int) bool {
+		for _, n := range replicas[task] {
+			if n == worker {
+				return true
+			}
+		}
+		return false
+	}
+
+	// pick selects the next task for a worker under the scheduling policy.
+	pick := func(worker int) int {
+		if mode.locationAware() {
+			for _, t := range pendingTasks {
+				if !taken[t] && isLocal(t, worker) {
+					return t
+				}
+			}
+		}
+		for _, t := range pendingTasks {
+			if !taken[t] {
+				return t
+			}
+		}
+		return -1
+	}
+
+	var schedule func(worker int)
+	runTask := func(worker, task int, after func()) {
+		local := isLocal(task, worker)
+		if local {
+			res.LocalReads++
+		} else {
+			res.RemoteReads++
+		}
+		finishCompute := func() { eng.Schedule(p.CPUPerBlock, after) }
+		if local {
+			readT := localRead
+			if !mode.readahead() {
+				// Small synchronous reads against the local server still
+				// pay per-request overhead through the shim.
+				nReq := p.BlockSize / p.SmallRead
+				readT += sim.Time(nReq) * p.RPC
+			}
+			eng.Schedule(readT, finishCompute)
+			return
+		}
+		// Remote: stream through the shared core.
+		if mode.readahead() {
+			xfer := sim.Time(float64(p.BlockSize) / p.NodeBandwidth)
+			core.Submit(sim.Time(float64(p.BlockSize)/p.CoreBandwidth), func(sim.Time) {
+				eng.Schedule(xfer, finishCompute)
+			})
+			return
+		}
+		// Naive shim: each small request is a synchronous round trip, so
+		// the stream never fills the pipe.
+		nReq := p.BlockSize / p.SmallRead
+		var step func(k int64)
+		step = func(k int64) {
+			if k == nReq {
+				finishCompute()
+				return
+			}
+			core.Submit(sim.Time(float64(p.SmallRead)/p.CoreBandwidth), func(sim.Time) {
+				eng.Schedule(p.RPC+sim.Time(float64(p.SmallRead)/p.NodeBandwidth), func() { step(k + 1) })
+			})
+		}
+		step(0)
+	}
+
+	schedule = func(worker int) {
+		t := pick(worker)
+		if t < 0 {
+			return
+		}
+		taken[t] = true
+		runTask(worker, t, func() {
+			remaining--
+			schedule(worker)
+		})
+	}
+	for w := 0; w < p.Workers; w++ {
+		schedule(w)
+	}
+	eng.Run()
+	if remaining != 0 {
+		panic(fmt.Sprintf("cloudfs: %d tasks never ran", remaining))
+	}
+	res.Elapsed = eng.Now()
+	if res.Elapsed > 0 {
+		res.Throughput = float64(p.Tasks) * float64(p.BlockSize) / float64(res.Elapsed)
+	}
+	return res
+}
+
+// Compare runs all four stacks and returns results in mode order.
+func Compare(p Params) []Result {
+	out := make([]Result, 0, 4)
+	for _, m := range []Mode{HDFSNative, PVFSNaive, PVFSReadahead, PVFSLayout} {
+		out = append(out, Run(p, m))
+	}
+	return out
+}

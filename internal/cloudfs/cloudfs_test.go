@@ -1,0 +1,105 @@
+package cloudfs
+
+import (
+	"testing"
+)
+
+func params() Params {
+	p := DefaultParams(16, 64)
+	return p
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[Mode]string{
+		HDFSNative:    "hadoop-on-hdfs",
+		PVFSNaive:     "pvfs-shim-naive",
+		PVFSReadahead: "pvfs-shim+readahead",
+		PVFSLayout:    "pvfs-shim+readahead+layout",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestAllTasksComplete(t *testing.T) {
+	for _, m := range []Mode{HDFSNative, PVFSNaive, PVFSReadahead, PVFSLayout} {
+		r := Run(params(), m)
+		if r.LocalReads+r.RemoteReads != 64 {
+			t.Fatalf("%v: %d+%d reads, want 64 tasks", m, r.LocalReads, r.RemoteReads)
+		}
+		if r.Elapsed <= 0 || r.Throughput <= 0 {
+			t.Fatalf("%v: empty result %+v", m, r)
+		}
+	}
+}
+
+func TestHDFSMostlyLocal(t *testing.T) {
+	r := Run(params(), HDFSNative)
+	if r.LocalReads < r.RemoteReads {
+		t.Fatalf("HDFS ran %d local vs %d remote, want mostly local", r.LocalReads, r.RemoteReads)
+	}
+}
+
+func TestNaiveShimTwiceAsSlow(t *testing.T) {
+	// Figure 12's headline: "the simplest shim caused Hadoop-on-PVFS to
+	// execute a large text search more than twice as slowly".
+	hdfs := Run(params(), HDFSNative)
+	naive := Run(params(), PVFSNaive)
+	if naive.Elapsed < 2*hdfs.Elapsed {
+		t.Fatalf("naive shim %.2fs, want >= 2x HDFS %.2fs",
+			float64(naive.Elapsed), float64(hdfs.Elapsed))
+	}
+}
+
+func TestReadaheadClosesMostOfGap(t *testing.T) {
+	naive := Run(params(), PVFSNaive)
+	ra := Run(params(), PVFSReadahead)
+	if ra.Elapsed >= naive.Elapsed {
+		t.Fatal("readahead did not help")
+	}
+	if ra.Throughput < 1.5*naive.Throughput {
+		t.Fatalf("readahead gain %.1fx, want a large improvement",
+			ra.Throughput/naive.Throughput)
+	}
+}
+
+func TestLayoutExposureReachesParity(t *testing.T) {
+	// "The result is that PVFS, with our shim, could be used as an
+	// alternative to HDFS": layout-aware shim within ~20% of native.
+	hdfs := Run(params(), HDFSNative)
+	layout := Run(params(), PVFSLayout)
+	ratio := float64(layout.Elapsed) / float64(hdfs.Elapsed)
+	if ratio > 1.25 {
+		t.Fatalf("layout-aware shim at %.2fx of HDFS time, want parity (<= 1.25x)", ratio)
+	}
+}
+
+func TestOrderingOfVariants(t *testing.T) {
+	rs := Compare(params())
+	byMode := map[Mode]Result{}
+	for _, r := range rs {
+		byMode[r.Mode] = r
+	}
+	if !(byMode[PVFSNaive].Elapsed > byMode[PVFSReadahead].Elapsed &&
+		byMode[PVFSReadahead].Elapsed >= byMode[PVFSLayout].Elapsed) {
+		t.Fatalf("variant ordering wrong: naive=%v ra=%v layout=%v",
+			byMode[PVFSNaive].Elapsed, byMode[PVFSReadahead].Elapsed, byMode[PVFSLayout].Elapsed)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Run(params(), PVFSLayout), Run(params(), PVFSLayout)
+	if a.Elapsed != b.Elapsed || a.LocalReads != b.LocalReads {
+		t.Fatal("non-deterministic")
+	}
+}
+
+func TestInvalidParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid params did not panic")
+		}
+	}()
+	Run(Params{}, HDFSNative)
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Container names within a PLFS container directory.
+const (
+	hostdirPrefix = "hostdir."
+	dataPrefix    = "data."
+	indexPrefix   = "index."
+	accessFile    = ".plfsaccess"
+)
+
+// Options tunes container layout.
+type Options struct {
+	// NumHostdirs spreads per-writer logs over this many subdirectories to
+	// avoid metadata hot-spotting on one directory (PLFS's hostdir
+	// mechanism). Must be >= 1.
+	NumHostdirs int
+
+	// CoalesceIndex, when true, merges contiguous same-writer index
+	// entries at write time, shrinking the index logs (an ablation of the
+	// follow-on index-compression work).
+	CoalesceIndex bool
+}
+
+// DefaultOptions matches the PLFS defaults: 32 hostdirs, no write-time
+// coalescing.
+func DefaultOptions() Options { return Options{NumHostdirs: 32} }
+
+func (o Options) validate() error {
+	if o.NumHostdirs < 1 {
+		return fmt.Errorf("plfs: NumHostdirs %d < 1", o.NumHostdirs)
+	}
+	return nil
+}
+
+// Container is an open PLFS container: the middleware's representation of
+// one logical file. Concurrent writers each obtain their own Writer; a
+// Reader merges all logs.
+type Container struct {
+	backend Backend
+	path    string
+	opts    Options
+	clock   atomic.Uint64
+
+	mu      sync.Mutex
+	writers map[int32]*Writer
+}
+
+// CreateContainer makes a new container directory tree on the backend.
+func CreateContainer(b Backend, path string, opts Options) (*Container, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if b.Exists(path) {
+		return nil, fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	if err := b.Mkdir(path); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.NumHostdirs; i++ {
+		if err := b.Mkdir(fmt.Sprintf("%s/%s%d", path, hostdirPrefix, i)); err != nil {
+			return nil, err
+		}
+	}
+	// The access file marks the directory as a PLFS container (it is what
+	// makes the container look like a regular file through the FUSE
+	// interface).
+	f, err := b.Create(path + "/" + accessFile)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte("plfs container v1\n")); err != nil {
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return &Container{backend: b, path: path, opts: opts, writers: make(map[int32]*Writer)}, nil
+}
+
+// OpenContainer opens an existing container.
+func OpenContainer(b Backend, path string, opts Options) (*Container, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if !b.Exists(path + "/" + accessFile) {
+		return nil, fmt.Errorf("%w: %s is not a PLFS container", ErrNotExist, path)
+	}
+	return &Container{backend: b, path: path, opts: opts, writers: make(map[int32]*Writer)}, nil
+}
+
+// IsContainer reports whether path holds a PLFS container.
+func IsContainer(b Backend, path string) bool {
+	return b.Exists(path + "/" + accessFile)
+}
+
+// Path returns the container's backing path.
+func (c *Container) Path() string { return c.path }
+
+func (c *Container) hostdir(writer int32) string {
+	return fmt.Sprintf("%s/%s%d", c.path, hostdirPrefix, int(writer)%c.opts.NumHostdirs)
+}
+
+// Writer is one process's (rank's) write handle: an append-only data log
+// plus an append-only index log. Writers never coordinate with each other —
+// that independence is the whole point of PLFS.
+type Writer struct {
+	c       *Container
+	id      int32
+	data    BackendFile
+	index   BackendFile
+	dataOff int64
+	closed  bool
+
+	// pending is the not-yet-flushed last entry when coalescing.
+	pending   *IndexEntry
+	mu        sync.Mutex
+	nWrites   int64
+	nEntries  int64
+	bytesData int64
+}
+
+// OpenWriter creates (or reopens) the write handle for writer id. Each id
+// may have at most one live Writer per Container.
+func (c *Container) OpenWriter(id int32) (*Writer, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, live := c.writers[id]; live {
+		return nil, fmt.Errorf("plfs: writer %d already open", id)
+	}
+	hd := c.hostdir(id)
+	dataPath := fmt.Sprintf("%s/%s%d", hd, dataPrefix, id)
+	indexPath := fmt.Sprintf("%s/%s%d", hd, indexPrefix, id)
+	var data, index BackendFile
+	var err error
+	if c.backend.Exists(dataPath) {
+		if data, err = c.backend.Open(dataPath); err != nil {
+			return nil, err
+		}
+		if index, err = c.backend.Open(indexPath); err != nil {
+			return nil, err
+		}
+	} else {
+		if data, err = c.backend.Create(dataPath); err != nil {
+			return nil, err
+		}
+		if index, err = c.backend.Create(indexPath); err != nil {
+			return nil, err
+		}
+	}
+	w := &Writer{c: c, id: id, data: data, index: index, dataOff: data.Size()}
+	c.writers[id] = w
+	return w, nil
+}
+
+// WriteAt records a write of buf at logical offset off. The data is
+// appended to the writer's data log; the mapping is appended to its index
+// log. The call never touches any other writer's state.
+func (w *Writer) WriteAt(buf []byte, off int64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("plfs: negative offset %d", off)
+	}
+	n, err := w.data.Write(buf)
+	if err != nil {
+		return n, err
+	}
+	entry := IndexEntry{
+		LogicalOffset: off,
+		Length:        int64(len(buf)),
+		Writer:        w.id,
+		LogOffset:     w.dataOff,
+		Timestamp:     w.c.clock.Add(1),
+	}
+	w.dataOff += int64(len(buf))
+	w.nWrites++
+	w.bytesData += int64(len(buf))
+
+	if w.c.opts.CoalesceIndex {
+		if p := w.pending; p != nil &&
+			p.LogicalOffset+p.Length == entry.LogicalOffset &&
+			p.LogOffset+p.Length == entry.LogOffset {
+			p.Length += entry.Length
+			p.Timestamp = entry.Timestamp
+			return len(buf), nil
+		}
+		if err := w.flushPendingLocked(); err != nil {
+			return len(buf), err
+		}
+		e := entry
+		w.pending = &e
+		return len(buf), nil
+	}
+	return len(buf), w.appendEntryLocked(entry)
+}
+
+func (w *Writer) appendEntryLocked(e IndexEntry) error {
+	var rec [indexEntrySize]byte
+	e.encode(rec[:])
+	if _, err := w.index.Write(rec[:]); err != nil {
+		return err
+	}
+	w.nEntries++
+	return nil
+}
+
+func (w *Writer) flushPendingLocked() error {
+	if w.pending == nil {
+		return nil
+	}
+	e := *w.pending
+	w.pending = nil
+	return w.appendEntryLocked(e)
+}
+
+// Sync flushes any coalesced-but-unwritten index entry.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.flushPendingLocked()
+}
+
+// Close flushes and releases the handle.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	err := w.flushPendingLocked()
+	w.closed = true
+	w.mu.Unlock()
+
+	w.c.mu.Lock()
+	delete(w.c.writers, w.id)
+	w.c.mu.Unlock()
+	if e := w.data.Close(); err == nil {
+		err = e
+	}
+	if e := w.index.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// Stats reports writer-side counters.
+func (w *Writer) Stats() (writes, indexEntries, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.nEntries
+	if w.pending != nil {
+		n++
+	}
+	return w.nWrites, n, w.bytesData
+}
+
+// Reader resolves the container's logical contents. Opening a reader scans
+// every hostdir for index logs and merges them into a GlobalIndex; reads
+// then binary-search the index and fetch from the data logs.
+type Reader struct {
+	c     *Container
+	index *GlobalIndex
+	data  map[int32]BackendFile
+}
+
+// OpenReader builds the merged read view. Any live writers should Sync (or
+// Close) first or their trailing coalesced entries may be invisible.
+func (c *Container) OpenReader() (*Reader, error) {
+	var entries []IndexEntry
+	data := make(map[int32]BackendFile)
+	for i := 0; i < c.opts.NumHostdirs; i++ {
+		hd := fmt.Sprintf("%s/%s%d", c.path, hostdirPrefix, i)
+		names, err := c.backend.ReadDir(hd)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			var id int32
+			if _, err := fmt.Sscanf(name, indexPrefix+"%d", &id); err != nil || fmt.Sprintf("%s%d", indexPrefix, id) != name {
+				continue
+			}
+			idx, err := c.backend.Open(hd + "/" + name)
+			if err != nil {
+				return nil, err
+			}
+			es, err := readIndexLog(idx)
+			idx.Close()
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, es...)
+			df, err := c.backend.Open(fmt.Sprintf("%s/%s%d", hd, dataPrefix, id))
+			if err != nil {
+				return nil, err
+			}
+			data[id] = df
+		}
+	}
+	return &Reader{c: c, index: BuildGlobalIndex(entries), data: data}, nil
+}
+
+// Size returns the logical file size.
+func (r *Reader) Size() int64 { return r.index.Size() }
+
+// Index exposes the merged index (read-only use).
+func (r *Reader) Index() *GlobalIndex { return r.index }
+
+// ReadAt fills buf from logical offset off. Holes read as zeros. It
+// returns io.EOF when the range extends past the logical size, matching
+// io.ReaderAt semantics.
+func (r *Reader) ReadAt(buf []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("plfs: negative offset %d", off)
+	}
+	want := int64(len(buf))
+	avail := r.index.Size() - off
+	if avail <= 0 {
+		return 0, io.EOF
+	}
+	n := want
+	if n > avail {
+		n = avail
+	}
+	for _, p := range r.index.Lookup(off, n) {
+		dst := buf[p.Logical-off : p.Logical-off+p.Length]
+		if p.Writer < 0 {
+			for i := range dst {
+				dst[i] = 0
+			}
+			continue
+		}
+		df, ok := r.data[p.Writer]
+		if !ok {
+			return 0, fmt.Errorf("plfs: index references missing data log for writer %d", p.Writer)
+		}
+		if _, err := df.ReadAt(dst, p.LogOff); err != nil && err != io.EOF {
+			return 0, err
+		}
+	}
+	if n < want {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// Close releases the data log handles.
+func (r *Reader) Close() error {
+	var err error
+	for _, f := range r.data {
+		if e := f.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// Flatten materializes the logical file into a flat output file on the
+// backend — the "impact determined on later reading" made durable. It
+// returns the number of bytes written.
+func (r *Reader) Flatten(dstPath string) (int64, error) {
+	dst, err := r.c.backend.Create(dstPath)
+	if err != nil {
+		return 0, err
+	}
+	defer dst.Close()
+	const chunk = 1 << 20
+	buf := make([]byte, chunk)
+	var written int64
+	for off := int64(0); off < r.Size(); off += chunk {
+		n := r.Size() - off
+		if n > chunk {
+			n = chunk
+		}
+		if _, err := r.ReadAt(buf[:n], off); err != nil && err != io.EOF {
+			return written, err
+		}
+		m, err := dst.Write(buf[:n])
+		written += int64(m)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// Library micro-benchmarks: the costs a PLFS user actually pays — appends
+// on the write path, index merge on open, resolved lookups on the read
+// path — independent of any simulated file system.
+
+func BenchmarkWriterAppend4K(b *testing.B) {
+	backend := NewMemBackend()
+	c, err := CreateContainer(backend, "/c", DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := c.OpenWriter(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.WriteAt(buf, int64(i)*8192); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriterAppendCoalesced(b *testing.B) {
+	backend := NewMemBackend()
+	c, err := CreateContainer(backend, "/c", Options{NumHostdirs: 32, CoalesceIndex: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := c.OpenWriter(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.WriteAt(buf, int64(i)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func buildContainer(b *testing.B, writers, recsPerWriter int) *Container {
+	b.Helper()
+	backend := NewMemBackend()
+	c, err := CreateContainer(backend, "/c", DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for wtr := 0; wtr < writers; wtr++ {
+		w, err := c.OpenWriter(int32(wtr))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < recsPerWriter; i++ {
+			off := int64((i*writers + wtr) * 4096)
+			if _, err := w.WriteAt(buf, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+		w.Close()
+	}
+	return c
+}
+
+func BenchmarkOpenReaderIndexMerge(b *testing.B) {
+	for _, writers := range []int{4, 32} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			c := buildContainer(b, writers, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := c.OpenReader()
+				if err != nil {
+					b.Fatal(err)
+				}
+				r.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkReaderStridedReadBack(b *testing.B) {
+	c := buildContainer(b, 16, 256)
+	r, err := c.OpenReader()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%8) << 20
+		if _, err := r.ReadAt(buf, off); err != nil && err != io.EOF {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildGlobalIndex(b *testing.B) {
+	entries := make([]IndexEntry, 8192)
+	for i := range entries {
+		entries[i] = IndexEntry{
+			LogicalOffset: int64((i * 37) % 4096 * 4096),
+			Length:        4096,
+			Writer:        int32(i % 64),
+			LogOffset:     int64(i) * 4096,
+			Timestamp:     uint64(i + 1),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := BuildGlobalIndex(entries)
+		if g.NumEntries() != len(entries) {
+			b.Fatal("bad merge")
+		}
+	}
+}
+
+func BenchmarkGlobalIndexLookup(b *testing.B) {
+	entries := make([]IndexEntry, 4096)
+	for i := range entries {
+		entries[i] = IndexEntry{
+			LogicalOffset: int64(i) * 4096,
+			Length:        4096,
+			Writer:        int32(i % 16),
+			LogOffset:     int64(i/16) * 4096,
+			Timestamp:     uint64(i + 1),
+		}
+	}
+	g := BuildGlobalIndex(entries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.Lookup(int64(i%4000)*4096, 65536); len(got) == 0 {
+			b.Fatal("empty lookup")
+		}
+	}
+}
+
+func BenchmarkFlatten(b *testing.B) {
+	c := buildContainer(b, 8, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.OpenReader()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Flatten(fmt.Sprintf("/flat.%d", i)); err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// IndexEntry records one logical write: logical byte range -> position in a
+// writer's data log, stamped with a logical timestamp for last-writer-wins
+// resolution. Entries are fixed-size binary records appended to the
+// writer's index log.
+type IndexEntry struct {
+	LogicalOffset int64  // offset in the logical file
+	Length        int64  // bytes written
+	Writer        int32  // writer (rank/pid) id
+	LogOffset     int64  // offset within the writer's data log
+	Timestamp     uint64 // container-wide logical clock
+}
+
+// indexEntrySize is the on-log size of a serialized IndexEntry.
+const indexEntrySize = 8 + 8 + 4 + 8 + 8
+
+func (e IndexEntry) encode(buf []byte) {
+	binary.LittleEndian.PutUint64(buf[0:], uint64(e.LogicalOffset))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(e.Length))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(e.Writer))
+	binary.LittleEndian.PutUint64(buf[20:], uint64(e.LogOffset))
+	binary.LittleEndian.PutUint64(buf[28:], e.Timestamp)
+}
+
+func decodeEntry(buf []byte) IndexEntry {
+	return IndexEntry{
+		LogicalOffset: int64(binary.LittleEndian.Uint64(buf[0:])),
+		Length:        int64(binary.LittleEndian.Uint64(buf[8:])),
+		Writer:        int32(binary.LittleEndian.Uint32(buf[16:])),
+		LogOffset:     int64(binary.LittleEndian.Uint64(buf[20:])),
+		Timestamp:     binary.LittleEndian.Uint64(buf[28:]),
+	}
+}
+
+// readIndexLog decodes every entry in an index log.
+func readIndexLog(f BackendFile) ([]IndexEntry, error) {
+	size := f.Size()
+	if size%indexEntrySize != 0 {
+		return nil, fmt.Errorf("plfs: corrupt index log: %d bytes not a record multiple", size)
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			return nil, err
+		}
+	}
+	entries := make([]IndexEntry, 0, size/indexEntrySize)
+	for off := int64(0); off < size; off += indexEntrySize {
+		entries = append(entries, decodeEntry(buf[off:off+indexEntrySize]))
+	}
+	return entries, nil
+}
+
+// extent is a resolved, non-overlapping slice of the logical file mapping
+// to one writer's data log.
+type extent struct {
+	logical int64 // logical start
+	length  int64
+	writer  int32
+	logOff  int64 // start within the writer's data log
+}
+
+func (x extent) end() int64 { return x.logical + x.length }
+
+// GlobalIndex is the merged, conflict-resolved view of every writer's
+// index log: a sorted list of disjoint extents. Lookups binary-search it.
+type GlobalIndex struct {
+	extents []extent
+	size    int64
+	entries int // raw entries merged (before overlap resolution)
+}
+
+// BuildGlobalIndex merges raw entries, resolving overlaps so that the entry
+// with the larger timestamp wins (ties broken by writer id, then log
+// offset, for determinism). This is the "read-back" step PLFS defers from
+// write time to read time.
+func BuildGlobalIndex(entries []IndexEntry) *GlobalIndex {
+	g := &GlobalIndex{entries: len(entries)}
+	sorted := append([]IndexEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Timestamp != b.Timestamp {
+			return a.Timestamp < b.Timestamp
+		}
+		if a.Writer != b.Writer {
+			return a.Writer < b.Writer
+		}
+		return a.LogOffset < b.LogOffset
+	})
+	for _, e := range sorted {
+		if e.Length <= 0 {
+			continue
+		}
+		g.insert(extent{logical: e.LogicalOffset, length: e.Length, writer: e.Writer, logOff: e.LogOffset})
+		if end := e.LogicalOffset + e.Length; end > g.size {
+			g.size = end
+		}
+	}
+	return g
+}
+
+// insert overlays x on the extent list, truncating or splitting anything it
+// overlaps (x is newer than everything already present).
+func (g *GlobalIndex) insert(x extent) {
+	// Find the first extent whose end is beyond x.logical.
+	i := sort.Search(len(g.extents), func(i int) bool {
+		return g.extents[i].end() > x.logical
+	})
+	var out []extent
+	out = append(out, g.extents[:i]...)
+	j := i
+	for ; j < len(g.extents); j++ {
+		old := g.extents[j]
+		if old.logical >= x.end() {
+			break
+		}
+		// Keep any prefix of old before x.
+		if old.logical < x.logical {
+			out = append(out, extent{
+				logical: old.logical,
+				length:  x.logical - old.logical,
+				writer:  old.writer,
+				logOff:  old.logOff,
+			})
+		}
+		// Defer any suffix of old after x; it is handled below because it
+		// must come after x in sorted order.
+		if old.end() > x.end() {
+			cut := x.end() - old.logical
+			tail := extent{
+				logical: x.end(),
+				length:  old.end() - x.end(),
+				writer:  old.writer,
+				logOff:  old.logOff + cut,
+			}
+			out = append(out, x, tail)
+			out = append(out, g.extents[j+1:]...)
+			g.extents = out
+			return
+		}
+	}
+	out = append(out, x)
+	out = append(out, g.extents[j:]...)
+	g.extents = out
+}
+
+// Size returns the logical file size (highest written byte + 1).
+func (g *GlobalIndex) Size() int64 { return g.size }
+
+// NumExtents reports resolved extents; NumEntries reports raw entries
+// merged. Their ratio measures index fragmentation.
+func (g *GlobalIndex) NumExtents() int { return len(g.extents) }
+
+// NumEntries reports the raw entry count before resolution.
+func (g *GlobalIndex) NumEntries() int { return g.entries }
+
+// Lookup maps the logical range [off, off+length) to data-log pieces.
+// Ranges not covered by any write are returned as holes (writer < 0).
+type Piece struct {
+	Logical int64
+	Length  int64
+	Writer  int32 // -1 for a hole (reads as zeros)
+	LogOff  int64
+}
+
+// Lookup resolves a logical range into an ordered piece list covering it
+// exactly.
+func (g *GlobalIndex) Lookup(off, length int64) []Piece {
+	if length <= 0 {
+		return nil
+	}
+	end := off + length
+	var out []Piece
+	i := sort.Search(len(g.extents), func(i int) bool {
+		return g.extents[i].end() > off
+	})
+	cur := off
+	for ; i < len(g.extents) && cur < end; i++ {
+		x := g.extents[i]
+		if x.logical >= end {
+			break
+		}
+		if x.logical > cur {
+			out = append(out, Piece{Logical: cur, Length: x.logical - cur, Writer: -1})
+			cur = x.logical
+		}
+		from := cur - x.logical
+		n := x.end() - cur
+		if n > end-cur {
+			n = end - cur
+		}
+		out = append(out, Piece{Logical: cur, Length: n, Writer: x.writer, LogOff: x.logOff + from})
+		cur += n
+	}
+	if cur < end {
+		out = append(out, Piece{Logical: cur, Length: end - cur, Writer: -1})
+	}
+	return out
+}
+
+// Coalesce merges adjacent extents that are contiguous in both logical
+// space and the same writer's log. This is the index-compression ablation
+// the PLFS follow-on work explored ("compress read-back indexes").
+func (g *GlobalIndex) Coalesce() {
+	if len(g.extents) < 2 {
+		return
+	}
+	out := g.extents[:1]
+	for _, x := range g.extents[1:] {
+		last := &out[len(out)-1]
+		if last.writer == x.writer &&
+			last.end() == x.logical &&
+			last.logOff+last.length == x.logOff {
+			last.length += x.length
+			continue
+		}
+		out = append(out, x)
+	}
+	g.extents = out
+}
+
+// CheckInvariants verifies the extent list is sorted and non-overlapping.
+func (g *GlobalIndex) CheckInvariants() error {
+	for i := 1; i < len(g.extents); i++ {
+		prev, cur := g.extents[i-1], g.extents[i]
+		if cur.logical < prev.end() {
+			return fmt.Errorf("plfs: overlapping extents %d..%d and %d..%d",
+				prev.logical, prev.end(), cur.logical, cur.end())
+		}
+	}
+	for _, x := range g.extents {
+		if x.length <= 0 {
+			return fmt.Errorf("plfs: non-positive extent length %d", x.length)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Mount is the FUSE-flavored face of PLFS: a mount point under which every
+// logical path transparently resolves to a container on the backing store.
+// Applications that know nothing about PLFS open, write, read, and close
+// files; the mount turns each logical file into a container and each
+// process's handle into a per-writer log. This is how non-MPI applications
+// used PLFS in production (the MPI-IO path uses Container directly).
+type Mount struct {
+	backend Backend
+	root    string
+	opts    Options
+
+	mu         sync.Mutex
+	containers map[string]*Container
+}
+
+// NewMount attaches a mount at root (created if needed) on the backend.
+func NewMount(b Backend, root string, opts Options) (*Mount, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	// Create the mount directory and any missing ancestors.
+	var prefix string
+	for _, part := range strings.Split(strings.Trim(root, "/"), "/") {
+		prefix += "/" + part
+		if !b.Exists(prefix) {
+			if err := b.Mkdir(prefix); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Mount{backend: b, root: root, opts: opts, containers: make(map[string]*Container)}, nil
+}
+
+// path maps a logical file name to its backing container path.
+func (m *Mount) path(name string) string {
+	return m.root + "/" + name
+}
+
+// container returns (opening or creating as requested) the container for a
+// logical file.
+func (m *Mount) container(name string, create bool) (*Container, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.containers[name]; ok {
+		return c, nil
+	}
+	p := m.path(name)
+	var c *Container
+	var err error
+	switch {
+	case IsContainer(m.backend, p):
+		c, err = OpenContainer(m.backend, p, m.opts)
+	case create:
+		// Logical names may contain directories; materialize them under
+		// the mount root before creating the container.
+		if i := strings.LastIndex(name, "/"); i > 0 {
+			prefix := m.root
+			for _, part := range strings.Split(name[:i], "/") {
+				if part == "" {
+					continue
+				}
+				prefix += "/" + part
+				if !m.backend.Exists(prefix) {
+					if err := m.backend.Mkdir(prefix); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		c, err = CreateContainer(m.backend, p, m.opts)
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.containers[name] = c
+	return c, nil
+}
+
+// LogicalFile is an open handle through the mount. Writes go to the
+// owning process's log; reads see the merged container. The handle is
+// valid for one process id (pid), mirroring the FUSE daemon's bookkeeping.
+type LogicalFile struct {
+	mount *Mount
+	name  string
+	pid   int32
+
+	mu     sync.Mutex
+	writer *Writer // lazily opened on first write
+	reader *Reader // lazily opened, invalidated by writes
+	closed bool
+}
+
+// OpenFile opens (creating if create is set) a logical file for process
+// pid. Multiple processes may hold handles on the same name concurrently.
+func (m *Mount) OpenFile(name string, pid int32, create bool) (*LogicalFile, error) {
+	if _, err := m.container(name, create); err != nil {
+		return nil, err
+	}
+	return &LogicalFile{mount: m, name: name, pid: pid}, nil
+}
+
+// Exists reports whether a logical file exists under the mount.
+func (m *Mount) Exists(name string) bool {
+	return IsContainer(m.backend, m.path(name))
+}
+
+// WriteAt appends through the process's log.
+func (f *LogicalFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if f.writer == nil {
+		c, err := f.mount.container(f.name, false)
+		if err != nil {
+			return 0, err
+		}
+		w, err := c.OpenWriter(f.pid)
+		if err != nil {
+			return 0, err
+		}
+		f.writer = w
+	}
+	// Any cached read view is stale after a write.
+	if f.reader != nil {
+		f.reader.Close()
+		f.reader = nil
+	}
+	return f.writer.WriteAt(p, off)
+}
+
+// ReadAt reads the merged logical contents. The first read after a write
+// re-merges the index (PLFS's read-after-write visibility point); the
+// handle's own pending writes are flushed first.
+func (f *LogicalFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if err := f.ensureReaderLocked(); err != nil {
+		return 0, err
+	}
+	return f.reader.ReadAt(p, off)
+}
+
+// Size returns the current logical size.
+func (f *LogicalFile) Size() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if err := f.ensureReaderLocked(); err != nil {
+		return 0, err
+	}
+	return f.reader.Size(), nil
+}
+
+func (f *LogicalFile) ensureReaderLocked() error {
+	if f.writer != nil {
+		if err := f.writer.Sync(); err != nil {
+			return err
+		}
+	}
+	if f.reader == nil {
+		c, err := f.mount.container(f.name, false)
+		if err != nil {
+			return err
+		}
+		r, err := c.OpenReader()
+		if err != nil {
+			return err
+		}
+		f.reader = r
+	}
+	return nil
+}
+
+// Sync flushes buffered index state so other handles can see the writes.
+func (f *LogicalFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if f.writer != nil {
+		return f.writer.Sync()
+	}
+	return nil
+}
+
+// Close releases the handle's writer and reader.
+func (f *LogicalFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.closed = true
+	var err error
+	if f.writer != nil {
+		err = f.writer.Close()
+		f.writer = nil
+	}
+	if f.reader != nil {
+		if e := f.reader.Close(); err == nil {
+			err = e
+		}
+		f.reader = nil
+	}
+	return err
+}
+
+// ReadSeeker adapts a LogicalFile to io.Reader/io.Seeker for tooling.
+type ReadSeeker struct {
+	f   *LogicalFile
+	pos int64
+}
+
+// NewReadSeeker wraps f at position zero.
+func NewReadSeeker(f *LogicalFile) *ReadSeeker { return &ReadSeeker{f: f} }
+
+// Read implements io.Reader.
+func (rs *ReadSeeker) Read(p []byte) (int, error) {
+	n, err := rs.f.ReadAt(p, rs.pos)
+	rs.pos += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker.
+func (rs *ReadSeeker) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = rs.pos
+	case io.SeekEnd:
+		size, err := rs.f.Size()
+		if err != nil {
+			return rs.pos, err
+		}
+		base = size
+	default:
+		return rs.pos, fmt.Errorf("plfs: bad whence %d", whence)
+	}
+	if base+offset < 0 {
+		return rs.pos, fmt.Errorf("plfs: negative seek position")
+	}
+	rs.pos = base + offset
+	return rs.pos, nil
+}

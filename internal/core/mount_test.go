@@ -1,0 +1,226 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+func newMount(t *testing.T) *Mount {
+	t.Helper()
+	m, err := NewMount(NewMemBackend(), "/mnt/plfs", Options{NumHostdirs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMountCreateWriteRead(t *testing.T) {
+	m := newMount(t)
+	f, err := m.OpenFile("ckpt.dat", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+	if size, _ := f.Size(); size != 5 {
+		t.Fatalf("Size = %d", size)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMountOpenMissingWithoutCreate(t *testing.T) {
+	m := newMount(t)
+	if _, err := m.OpenFile("nope", 0, false); err == nil {
+		t.Fatal("open of missing logical file should fail")
+	}
+	if m.Exists("nope") {
+		t.Fatal("Exists(nope) = true")
+	}
+}
+
+func TestMountMultiProcessSharedFile(t *testing.T) {
+	// The production scenario: many processes write one logical file
+	// through independent handles; a later reader sees the union.
+	m := newMount(t)
+	const pids = 8
+	var wg sync.WaitGroup
+	for pid := 0; pid < pids; pid++ {
+		pid := pid
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := m.OpenFile("shared", int32(pid), true)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer f.Close()
+			payload := bytes.Repeat([]byte{byte('a' + pid)}, 10)
+			if _, err := f.WriteAt(payload, int64(pid)*10); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	f, err := m.OpenFile("shared", 99, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, pids*10)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < pids; pid++ {
+		if buf[pid*10] != byte('a'+pid) {
+			t.Fatalf("segment %d = %c", pid, buf[pid*10])
+		}
+	}
+}
+
+func TestMountReadAfterWriteVisibility(t *testing.T) {
+	m := newMount(t)
+	f, _ := m.OpenFile("f", 0, true)
+	defer f.Close()
+	f.WriteAt([]byte("one"), 0)
+	buf := make([]byte, 3)
+	f.ReadAt(buf, 0)
+	if string(buf) != "one" {
+		t.Fatalf("first read %q", buf)
+	}
+	// Write again: the cached reader must be invalidated.
+	f.WriteAt([]byte("two"), 0)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "two" {
+		t.Fatalf("read after overwrite = %q, want two", buf)
+	}
+}
+
+func TestMountCrossHandleVisibilityAfterSync(t *testing.T) {
+	m := newMount(t)
+	w, _ := m.OpenFile("f", 1, true)
+	w.WriteAt([]byte("data"), 0)
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.OpenFile("f", 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 4)
+	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "data" {
+		t.Fatalf("cross-handle read %q", buf)
+	}
+	w.Close()
+}
+
+func TestMountClosedHandle(t *testing.T) {
+	m := newMount(t)
+	f, _ := m.OpenFile("f", 0, true)
+	f.WriteAt([]byte("x"), 0)
+	f.Close()
+	if _, err := f.WriteAt([]byte("y"), 0); err != ErrClosed {
+		t.Fatalf("WriteAt after close = %v", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != ErrClosed {
+		t.Fatalf("ReadAt after close = %v", err)
+	}
+	if _, err := f.Size(); err != ErrClosed {
+		t.Fatalf("Size after close = %v", err)
+	}
+	if err := f.Sync(); err != ErrClosed {
+		t.Fatalf("Sync after close = %v", err)
+	}
+	if err := f.Close(); err != ErrClosed {
+		t.Fatalf("double Close = %v", err)
+	}
+}
+
+func TestMountPersistenceAcrossMounts(t *testing.T) {
+	backend := NewMemBackend()
+	m1, err := NewMount(backend, "/mnt", Options{NumHostdirs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m1.OpenFile("persist", 0, true)
+	f.WriteAt([]byte("still here"), 0)
+	f.Close()
+
+	// A fresh mount over the same backend must see the container.
+	m2, err := NewMount(backend, "/mnt", Options{NumHostdirs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m2.OpenFile("persist", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	buf := make([]byte, 10)
+	if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "still here" {
+		t.Fatalf("reopened read %q", buf)
+	}
+}
+
+func TestReadSeeker(t *testing.T) {
+	m := newMount(t)
+	f, _ := m.OpenFile("seek", 0, true)
+	defer f.Close()
+	f.WriteAt([]byte("0123456789"), 0)
+	rs := NewReadSeeker(f)
+
+	buf := make([]byte, 4)
+	n, err := rs.Read(buf)
+	if n != 4 || (err != nil && err != io.EOF) {
+		t.Fatalf("Read = (%d, %v)", n, err)
+	}
+	if string(buf) != "0123" {
+		t.Fatalf("sequential read %q", buf)
+	}
+	if pos, _ := rs.Seek(2, io.SeekCurrent); pos != 6 {
+		t.Fatalf("SeekCurrent pos = %d", pos)
+	}
+	rs.Read(buf)
+	if string(buf) != "6789" {
+		t.Fatalf("post-seek read %q", buf)
+	}
+	if pos, _ := rs.Seek(-3, io.SeekEnd); pos != 7 {
+		t.Fatalf("SeekEnd pos = %d", pos)
+	}
+	if _, err := rs.Seek(-100, io.SeekStart); err == nil {
+		t.Fatal("negative seek should error")
+	}
+	if _, err := rs.Seek(0, 99); err == nil {
+		t.Fatal("bad whence should error")
+	}
+	// Reading everything via io.ReadAll from the start.
+	rs.Seek(0, io.SeekStart)
+	all, err := io.ReadAll(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(all) != "0123456789" {
+		t.Fatalf("ReadAll = %q", all)
+	}
+}

@@ -1,0 +1,212 @@
+// Package diagnose reproduces the PDSI automated performance-diagnosis
+// experiment (§4.2.6 of the report; Kasick et al., HotDep'09): in a
+// parallel file system, a faulty server manifests as *rare* behaviour —
+// different from its peers, which all see statistically similar load under
+// a balanced parallel workload. Peer comparison over commonly available
+// OS-level metrics (throughput, latency, CPU) identified the server
+// suffering an injected fault ("rogue hog" processes, blocked or lossy
+// resources) at least 66% of the time on a 20-server PVFS cluster, with
+// essentially no falsely indicated servers.
+package diagnose
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// FaultKind is the class of injected problem.
+type FaultKind int
+
+// Injected fault kinds, mirroring the study.
+const (
+	NoFault FaultKind = iota
+	// HogCPU is a rogue process stealing cycles: server latency rises.
+	HogCPU
+	// HogDisk is a rogue process issuing competing I/O: throughput falls
+	// and latency rises.
+	HogDisk
+	// LossyNet drops packets: latency rises sharply with high variance.
+	LossyNet
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case NoFault:
+		return "none"
+	case HogCPU:
+		return "cpu-hog"
+	case HogDisk:
+		return "disk-hog"
+	case LossyNet:
+		return "lossy-net"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Metrics is one server's per-window observations.
+type Metrics struct {
+	Throughput []float64 // MB/s per window
+	Latency    []float64 // ms per window
+}
+
+// Cluster is a set of servers' observations plus ground truth.
+type Cluster struct {
+	Servers     int
+	Windows     int
+	Fault       FaultKind
+	FaultServer int // -1 when Fault == NoFault
+	Data        []Metrics
+}
+
+// Generate produces observations for a balanced cluster with one injected
+// fault (or none). Baseline throughput and latency have ~6% relative noise;
+// faults shift the faulty server's distributions the way the study's
+// injections did.
+func Generate(servers, windows int, fault FaultKind, faultServer int, seed int64) Cluster {
+	if servers < 3 || windows < 4 {
+		panic(fmt.Sprintf("diagnose: need >= 3 servers and >= 4 windows, got %d/%d", servers, windows))
+	}
+	if fault == NoFault {
+		faultServer = -1
+	} else if faultServer < 0 || faultServer >= servers {
+		panic("diagnose: fault server out of range")
+	}
+	r := rand.New(rand.NewSource(seed))
+	c := Cluster{Servers: servers, Windows: windows, Fault: fault, FaultServer: faultServer}
+	const (
+		baseTput = 60.0 // MB/s
+		baseLat  = 8.0  // ms
+		noise    = 0.06
+	)
+	for s := 0; s < servers; s++ {
+		m := Metrics{
+			Throughput: make([]float64, windows),
+			Latency:    make([]float64, windows),
+		}
+		for w := 0; w < windows; w++ {
+			// Shared workload phase wobble affects all servers alike.
+			phase := 1 + 0.1*math.Sin(float64(w)/5)
+			tput := baseTput * phase * (1 + noise*r.NormFloat64())
+			lat := baseLat / phase * (1 + noise*r.NormFloat64())
+			if s == faultServer {
+				switch fault {
+				case HogCPU:
+					lat *= 1.8 + 0.2*r.Float64()
+				case HogDisk:
+					tput *= 0.45 + 0.1*r.Float64()
+					lat *= 2.2 + 0.3*r.Float64()
+				case LossyNet:
+					lat *= 2.5 + 1.5*r.Float64()
+				}
+			}
+			m.Throughput[w] = tput
+			m.Latency[w] = lat
+		}
+		c.Data = append(c.Data, m)
+	}
+	return c
+}
+
+// Diagnosis is the verdict for one cluster observation.
+type Diagnosis struct {
+	// Flagged lists servers diagnosed as anomalous.
+	Flagged []int
+}
+
+// threshold is the modified-z-score cutoff; 3.5 is the standard choice for
+// MAD-based outlier detection.
+const threshold = 3.5
+
+// Diagnose runs peer comparison: for each window and metric, a server
+// whose value deviates from the window's median by more than `threshold`
+// robust standard deviations earns a strike; servers with strikes in a
+// majority of windows are flagged.
+func Diagnose(c Cluster) Diagnosis {
+	strikes := make([]int, c.Servers)
+	metric := func(get func(Metrics, int) float64) {
+		for w := 0; w < c.Windows; w++ {
+			vals := make([]float64, c.Servers)
+			for s := 0; s < c.Servers; s++ {
+				vals[s] = get(c.Data[s], w)
+			}
+			med := median(vals)
+			devs := make([]float64, c.Servers)
+			for s, v := range vals {
+				devs[s] = math.Abs(v - med)
+			}
+			mad := median(devs)
+			if mad == 0 {
+				continue
+			}
+			for s, v := range vals {
+				if 0.6745*math.Abs(v-med)/mad > threshold {
+					strikes[s]++
+				}
+			}
+		}
+	}
+	metric(func(m Metrics, w int) float64 { return m.Throughput[w] })
+	metric(func(m Metrics, w int) float64 { return m.Latency[w] })
+
+	var d Diagnosis
+	// Two metrics scanned: a server can earn up to 2 strikes per window.
+	need := c.Windows // majority across 2*Windows opportunities
+	for s, n := range strikes {
+		if n >= need {
+			d.Flagged = append(d.Flagged, s)
+		}
+	}
+	return d
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Evaluation aggregates many trials.
+type Evaluation struct {
+	Trials         int
+	TruePositives  int // faulty server flagged
+	FalsePositives int // any healthy server flagged
+	TPRate         float64
+	FPPerTrial     float64
+}
+
+// Evaluate runs trials across fault kinds and random fault servers and
+// scores the diagnoser — the "at least 66% correct identification ... and
+// essentially no falsely indicated servers" experiment.
+func Evaluate(servers, windows, trials int, seed int64) Evaluation {
+	r := rand.New(rand.NewSource(seed))
+	kinds := []FaultKind{HogCPU, HogDisk, LossyNet}
+	var ev Evaluation
+	for i := 0; i < trials; i++ {
+		kind := kinds[r.Intn(len(kinds))]
+		fs := r.Intn(servers)
+		c := Generate(servers, windows, kind, fs, r.Int63())
+		d := Diagnose(c)
+		hit := false
+		for _, s := range d.Flagged {
+			if s == fs {
+				hit = true
+			} else {
+				ev.FalsePositives++
+			}
+		}
+		if hit {
+			ev.TruePositives++
+		}
+		ev.Trials++
+	}
+	ev.TPRate = float64(ev.TruePositives) / float64(ev.Trials)
+	ev.FPPerTrial = float64(ev.FalsePositives) / float64(ev.Trials)
+	return ev
+}

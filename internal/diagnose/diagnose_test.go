@@ -1,0 +1,89 @@
+package diagnose
+
+import (
+	"testing"
+)
+
+func TestFaultKindStrings(t *testing.T) {
+	for k, want := range map[FaultKind]string{
+		NoFault: "none", HogCPU: "cpu-hog", HogDisk: "disk-hog", LossyNet: "lossy-net",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c := Generate(20, 30, HogDisk, 7, 1)
+	if c.Servers != 20 || c.Windows != 30 || len(c.Data) != 20 {
+		t.Fatalf("cluster shape wrong: %+v", c)
+	}
+	if len(c.Data[0].Throughput) != 30 || len(c.Data[0].Latency) != 30 {
+		t.Fatal("metric lengths wrong")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Generate(2, 30, NoFault, -1, 1) },
+		func() { Generate(20, 2, NoFault, -1, 1) },
+		func() { Generate(20, 30, HogCPU, 99, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid Generate args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNoFaultNoFlags(t *testing.T) {
+	// "Essentially no falsely indicated servers."
+	for seed := int64(0); seed < 10; seed++ {
+		c := Generate(20, 30, NoFault, -1, seed)
+		if d := Diagnose(c); len(d.Flagged) != 0 {
+			t.Fatalf("seed %d: healthy cluster flagged %v", seed, d.Flagged)
+		}
+	}
+}
+
+func TestDiskHogIdentified(t *testing.T) {
+	c := Generate(20, 30, HogDisk, 4, 99)
+	d := Diagnose(c)
+	if len(d.Flagged) != 1 || d.Flagged[0] != 4 {
+		t.Fatalf("flagged %v, want [4]", d.Flagged)
+	}
+}
+
+func TestEvaluationMeetsReportNumbers(t *testing.T) {
+	// Report: at least 66% correct identification, essentially no false
+	// positives, on a 20-server cluster.
+	ev := Evaluate(20, 30, 200, 5)
+	if ev.TPRate < 0.66 {
+		t.Fatalf("true positive rate = %.2f, want >= 0.66", ev.TPRate)
+	}
+	if ev.FPPerTrial > 0.05 {
+		t.Fatalf("false positives per trial = %.3f, want ~0", ev.FPPerTrial)
+	}
+}
+
+func TestDiagnoseDeterministic(t *testing.T) {
+	c := Generate(20, 30, LossyNet, 11, 3)
+	a, b := Diagnose(c), Diagnose(c)
+	if len(a.Flagged) != len(b.Flagged) {
+		t.Fatal("non-deterministic diagnosis")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+}

@@ -1,0 +1,88 @@
+package failure
+
+import "math"
+
+// This file models the burst-buffer mitigation listed among the PLFS
+// follow-ons ("double-buffer writes in NAND Flash storage to decouple host
+// blocking during checkpoint from disk write time in the storage system"):
+// the application blocks only while its memory image streams into a fast
+// flash tier; the flash tier drains to disk in the background. The host's
+// effective checkpoint capture time shrinks by the flash/disk bandwidth
+// ratio — as long as the drain finishes before the next checkpoint needs
+// the buffer.
+
+// BurstBuffer describes the absorb/drain tiers.
+type BurstBuffer struct {
+	// CheckpointBytes is the memory image per checkpoint.
+	CheckpointBytes float64
+	// FlashBandwidth is the absorb rate the hosts see.
+	FlashBandwidth float64
+	// DiskBandwidth is the background drain rate to the parallel FS.
+	DiskBandwidth float64
+}
+
+// AbsorbTime is the host-visible checkpoint capture time.
+func (bb BurstBuffer) AbsorbTime() float64 { return bb.CheckpointBytes / bb.FlashBandwidth }
+
+// DrainTime is how long the buffer needs to empty to disk.
+func (bb BurstBuffer) DrainTime() float64 { return bb.CheckpointBytes / bb.DiskBandwidth }
+
+// EffectiveDelta returns the host-blocking checkpoint time at interval tau:
+// the absorb time when the drain fits inside the interval, otherwise the
+// host stalls for the unfinished remainder of the previous drain (the
+// buffer is still busy when the next checkpoint arrives).
+func (bb BurstBuffer) EffectiveDelta(tau float64) float64 {
+	absorb := bb.AbsorbTime()
+	spare := tau - absorb // time the drain has before the next checkpoint
+	overhang := bb.DrainTime() - spare
+	if overhang > 0 {
+		return absorb + overhang
+	}
+	return absorb
+}
+
+// BurstBufferUtilization computes optimal-interval utilization with the
+// burst buffer in front of the same disk system. It fixed-point iterates
+// because the optimal interval depends on the effective delta, which
+// depends on the interval.
+func BurstBufferUtilization(bb BurstBuffer, restart, mtti float64) (utilization, interval float64) {
+	delta := bb.AbsorbTime()
+	for i := 0; i < 20; i++ {
+		d := Daly{Delta: delta, Restart: restart, MTTI: mtti}
+		tau := d.OptimalInterval()
+		next := bb.EffectiveDelta(tau)
+		if math.Abs(next-delta) < 1e-9 {
+			delta = next
+			break
+		}
+		delta = next
+	}
+	d := Daly{Delta: delta, Restart: restart, MTTI: mtti}
+	interval = d.OptimalInterval()
+	return d.Utilization(interval), interval
+}
+
+// BurstBufferProjection extends the Figure 5 projection with a flash tier
+// whose bandwidth is flashRatio times the disk system's. diskDelta is the
+// disk-only capture time (as in BalancedUtilization).
+func BurstBufferProjection(p Projection, diskDelta, restart, flashRatio float64, fromYear, toYear int) []UtilizationPoint {
+	var out []UtilizationPoint
+	for y := fromYear; y <= toYear; y++ {
+		m := p.MTTISeconds(y)
+		bb := BurstBuffer{
+			CheckpointBytes: diskDelta, // normalized: disk BW = 1 byte/s
+			FlashBandwidth:  flashRatio,
+			DiskBandwidth:   1,
+		}
+		u, tau := BurstBufferUtilization(bb, restart, m)
+		out = append(out, UtilizationPoint{
+			Year:        y,
+			Chips:       p.Chips(y),
+			MTTI:        m,
+			Delta:       bb.EffectiveDelta(tau),
+			OptimalTau:  tau,
+			Utilization: u,
+		})
+	}
+	return out
+}

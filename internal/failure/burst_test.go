@@ -1,0 +1,76 @@
+package failure
+
+import (
+	"math"
+	"testing"
+)
+
+func bb() BurstBuffer {
+	// 600s of disk-time worth of state, flash 10x faster than disk.
+	return BurstBuffer{CheckpointBytes: 600, FlashBandwidth: 10, DiskBandwidth: 1}
+}
+
+func TestBurstBufferTimes(t *testing.T) {
+	b := bb()
+	if got := b.AbsorbTime(); got != 60 {
+		t.Fatalf("AbsorbTime = %v, want 60", got)
+	}
+	if got := b.DrainTime(); got != 600 {
+		t.Fatalf("DrainTime = %v, want 600", got)
+	}
+}
+
+func TestEffectiveDeltaRegimes(t *testing.T) {
+	b := bb()
+	// Long interval: drain fits, host pays only the absorb.
+	if got := b.EffectiveDelta(2000); got != 60 {
+		t.Fatalf("EffectiveDelta(2000) = %v, want 60", got)
+	}
+	// Short interval: drain overhangs; host stalls for the remainder.
+	got := b.EffectiveDelta(300)
+	want := 60 + (600 - (300 - 60)) // absorb + overhang
+	if math.Abs(got-float64(want)) > 1e-9 {
+		t.Fatalf("EffectiveDelta(300) = %v, want %v", got, want)
+	}
+	// The stall can never make delta worse than checkpointing straight to
+	// disk plus the absorb.
+	if got > 600+60 {
+		t.Fatalf("EffectiveDelta(300) = %v exceeds disk+absorb bound", got)
+	}
+}
+
+func TestBurstBufferBeatsDiskOnlyCheckpointing(t *testing.T) {
+	const restart, mtti = 600.0, 4 * 3600.0
+	diskOnly := Daly{Delta: 600, Restart: restart, MTTI: mtti}.OptimalUtilization()
+	withBB, _ := BurstBufferUtilization(bb(), restart, mtti)
+	if withBB <= diskOnly {
+		t.Fatalf("burst buffer utilization %v should beat disk-only %v", withBB, diskOnly)
+	}
+}
+
+func TestBurstBufferProjectionDelaysCrossing(t *testing.T) {
+	p := ReportProjection(18)
+	diskOnly := BalancedUtilization(p, 600, 600, 2008, 2022)
+	withBB := BurstBufferProjection(p, 600, 600, 10, 2008, 2022)
+	yDisk := CrossingYear(diskOnly, 0.5)
+	yBB := CrossingYear(withBB, 0.5)
+	if yBB != -1 && yDisk != -1 && yBB <= yDisk {
+		t.Fatalf("burst buffer crossing %d should be later than disk-only %d", yBB, yDisk)
+	}
+	// Utilization pointwise at least as good.
+	for i := range diskOnly {
+		if withBB[i].Utilization+1e-9 < diskOnly[i].Utilization {
+			t.Fatalf("year %d: burst buffer %v below disk-only %v",
+				diskOnly[i].Year, withBB[i].Utilization, diskOnly[i].Utilization)
+		}
+	}
+}
+
+func TestBurstBufferConvergesAtTinyMTTI(t *testing.T) {
+	// Even when intervals get so short the drain overhangs, the fixed
+	// point must converge and produce a sane utilization.
+	u, tau := BurstBufferUtilization(bb(), 600, 1200)
+	if tau <= 0 || u <= 0 || u >= 1 {
+		t.Fatalf("degenerate fixed point: u=%v tau=%v", u, tau)
+	}
+}

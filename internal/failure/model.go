@@ -1,0 +1,196 @@
+// Package failure implements the PDSI failure characterization and
+// fault-tolerance modeling line of work: synthetic versions of the LANL
+// 9-year failure traces, the interrupts-linear-in-chips model and MTTI
+// projection of Figure 4, the checkpoint/utilization projection of
+// Figure 5 (effective application utilization crossing 50% before 2014
+// under balanced-system growth), and the FAST'07 disk-replacement
+// analysis that overturned the "bathtub curve" and enterprise-vs-desktop
+// assumptions.
+package failure
+
+import (
+	"fmt"
+	"math"
+)
+
+// Daly models checkpoint/restart fault tolerance for an application on a
+// machine with exponential interrupts of mean MTTI. Delta is the time to
+// capture one checkpoint; Restart is the time to reboot/rework after a
+// failure. All fields share one time unit (seconds in this repo).
+type Daly struct {
+	Delta   float64 // checkpoint capture time
+	Restart float64 // restart cost after an interrupt
+	MTTI    float64 // mean time to interrupt
+}
+
+func (d Daly) validate() error {
+	if d.Delta <= 0 || d.MTTI <= 0 || d.Restart < 0 {
+		return fmt.Errorf("failure: invalid Daly model %+v", d)
+	}
+	return nil
+}
+
+// ExpectedTimePerSegment returns the expected wall-clock time to complete
+// one segment of tau seconds of useful work, checkpoint included, under
+// exponential failures: E = e^{R/M} * M * (e^{(tau+delta)/M} - 1).
+// (J. Daly, "A higher order estimate of the optimum checkpoint interval
+// for restart dumps".)
+func (d Daly) ExpectedTimePerSegment(tau float64) float64 {
+	m := d.MTTI
+	return math.Exp(d.Restart/m) * m * (math.Exp((tau+d.Delta)/m) - 1)
+}
+
+// Utilization returns useful work divided by expected wall-clock time at
+// checkpoint interval tau.
+func (d Daly) Utilization(tau float64) float64 {
+	if tau <= 0 {
+		return 0
+	}
+	return tau / d.ExpectedTimePerSegment(tau)
+}
+
+// OptimalInterval numerically maximizes utilization over tau. It brackets
+// around the first-order estimate sqrt(2*delta*MTTI) and refines by golden
+// section search.
+func (d Daly) OptimalInterval() float64 {
+	if err := d.validate(); err != nil {
+		panic(err)
+	}
+	guess := math.Sqrt(2 * d.Delta * d.MTTI)
+	lo, hi := guess/32, guess*32
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	e := a + phi*(b-a)
+	f := func(t float64) float64 { return -d.Utilization(t) }
+	fc, fe := f(c), f(e)
+	for i := 0; i < 200 && (b-a) > 1e-9*guess; i++ {
+		if fc < fe {
+			b, e, fe = e, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, e, fe
+			e = a + phi*(b-a)
+			fe = f(e)
+		}
+	}
+	return (a + b) / 2
+}
+
+// OptimalUtilization is the utilization at the optimal interval — the
+// "effective application utilization" plotted in Figure 5.
+func (d Daly) OptimalUtilization() float64 {
+	return d.Utilization(d.OptimalInterval())
+}
+
+// Projection holds the Figure 4 growth model: the largest systems grow
+// aggregate speed 100% per year (top500 trend) while per-chip speed grows
+// at Moore's-law-or-slower doubling periods, so chip counts — and with the
+// observed ~0.1 interrupts per chip-year, interrupt rates — grow
+// relentlessly.
+type Projection struct {
+	BaseYear int
+	// BaseChips is the number of processor chips in the BaseYear system
+	// (the report baselines a 1 PFLOP system in 2008).
+	BaseChips float64
+	// SystemGrowthPerYear is the aggregate speed multiplier per year (2.0
+	// = 100%/year).
+	SystemGrowthPerYear float64
+	// ChipDoublingMonths is the per-chip speed doubling period (18 =
+	// Moore's law; 24 or 30 model the multicore slowdown).
+	ChipDoublingMonths float64
+	// InterruptsPerChipYear is the empirical per-chip interrupt rate
+	// (the report uses an optimistic 0.1).
+	InterruptsPerChipYear float64
+}
+
+// ReportProjection returns the parameters used in the report's Figure 4,
+// with the given chip-speed doubling period in months.
+func ReportProjection(chipDoublingMonths float64) Projection {
+	return Projection{
+		BaseYear:              2008,
+		BaseChips:             20000, // ~1 PFLOP system of 2008
+		SystemGrowthPerYear:   2.0,
+		ChipDoublingMonths:    chipDoublingMonths,
+		InterruptsPerChipYear: 0.1,
+	}
+}
+
+// Chips returns the projected chip count in the given year.
+func (p Projection) Chips(year int) float64 {
+	dy := float64(year - p.BaseYear)
+	system := math.Pow(p.SystemGrowthPerYear, dy)
+	chip := math.Pow(2, dy*12/p.ChipDoublingMonths)
+	return p.BaseChips * system / chip
+}
+
+// MTTISeconds returns the projected system mean time to interrupt in
+// seconds, assuming interrupts are linear in chips.
+func (p Projection) MTTISeconds(year int) float64 {
+	perYear := p.InterruptsPerChipYear * p.Chips(year)
+	return SecondsPerYear / perYear
+}
+
+// SecondsPerYear converts the projection's per-year rates.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// UtilizationPoint is one year of the Figure 5 projection.
+type UtilizationPoint struct {
+	Year        int
+	Chips       float64
+	MTTI        float64 // seconds
+	Delta       float64 // checkpoint capture seconds
+	OptimalTau  float64
+	Utilization float64
+}
+
+// BalancedUtilization projects effective application utilization year by
+// year for a *balanced* system: memory and storage bandwidth both track
+// aggregate speed, so the checkpoint capture time delta stays constant
+// while MTTI shrinks. restart is the recovery cost in seconds.
+func BalancedUtilization(p Projection, delta, restart float64, fromYear, toYear int) []UtilizationPoint {
+	var out []UtilizationPoint
+	for y := fromYear; y <= toYear; y++ {
+		m := p.MTTISeconds(y)
+		d := Daly{Delta: delta, Restart: restart, MTTI: m}
+		out = append(out, UtilizationPoint{
+			Year:        y,
+			Chips:       p.Chips(y),
+			MTTI:        m,
+			Delta:       delta,
+			OptimalTau:  d.OptimalInterval(),
+			Utilization: d.OptimalUtilization(),
+		})
+	}
+	return out
+}
+
+// CrossingYear returns the first year utilization falls below the
+// threshold, or -1 if it never does in the projected range.
+func CrossingYear(points []UtilizationPoint, threshold float64) int {
+	for _, pt := range points {
+		if pt.Utilization < threshold {
+			return pt.Year
+		}
+	}
+	return -1
+}
+
+// DiskGrowth quantifies the report's storage-cost argument: if disk
+// bandwidth grows only diskBWGrowth per year (~20%) while required
+// aggregate storage bandwidth grows bwGrowth per year, the disk *count*
+// must grow by the ratio, compounding.
+func DiskGrowth(bwGrowth, diskBWGrowth float64) float64 {
+	return (1 + bwGrowth) / (1 + diskBWGrowth)
+}
+
+// ProcessPairsUtilization models the report's process-pairs alternative:
+// running two copies of the computation halves peak utilization but nearly
+// eliminates checkpoint overhead (checkpoints only at the interrupt rate).
+func ProcessPairsUtilization(d Daly) float64 {
+	// Duplicate every node: usable fraction is 0.5, and the surviving copy
+	// checkpoints once per failure instead of continuously. The residual
+	// overhead is one delta per MTTI.
+	return 0.5 * (1 - d.Delta/(d.MTTI+d.Delta))
+}

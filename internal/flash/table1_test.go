@@ -1,0 +1,87 @@
+package flash
+
+import "testing"
+
+// Table 1 of the report, the published measurements this package's presets
+// are calibrated against. We assert the model lands in the right *band*
+// (within ~2.5x) and preserves every qualitative ordering the report
+// highlights; exact matches are not expected from a scale model.
+var table1 = []struct {
+	name        string
+	spec        Spec
+	readIOPS    float64 // x10^3 in the report
+	seqWriteMBs float64
+}{
+	{"X25-M", IntelX25M(), 19100, 100},
+	{"Colossus", OCZColossus(), 5210, 200},
+	{"FusionIO", FusionIODuo(), 107000, 690},
+	{"RamSan", RamSan20(), 143000, 675},
+	{"tachION", ViridentTachION(), 156000, 1200},
+}
+
+func TestTable1ReadIOPSBands(t *testing.T) {
+	for _, row := range table1 {
+		got := RandomReadRate(row.spec, 2000, 3)
+		lo, hi := row.readIOPS/2.5, row.readIOPS*2.5
+		if got < lo || got > hi {
+			t.Errorf("%s: read IOPS %.0f outside band [%.0f, %.0f]", row.name, got, lo, hi)
+		}
+	}
+}
+
+func TestTable1ReadIOPSOrderingPreserved(t *testing.T) {
+	// For every device pair, the model's ordering must match the table's.
+	got := make([]float64, len(table1))
+	for i, row := range table1 {
+		got[i] = RandomReadRate(row.spec, 2000, 3)
+	}
+	for i := range table1 {
+		for j := i + 1; j < len(table1); j++ {
+			pub := table1[i].readIOPS < table1[j].readIOPS
+			mod := got[i] < got[j]
+			if pub != mod {
+				t.Errorf("ordering %s vs %s: published %v/%v, model %.0f/%.0f",
+					table1[i].name, table1[j].name,
+					table1[i].readIOPS, table1[j].readIOPS, got[i], got[j])
+			}
+		}
+	}
+}
+
+func TestTable1SeqWriteBands(t *testing.T) {
+	for _, row := range table1 {
+		got := SequentialWriteRate(row.spec) / 1e6
+		lo, hi := row.seqWriteMBs/2.5, row.seqWriteMBs*2.5
+		if got < lo || got > hi {
+			t.Errorf("%s: seq write %.0f MB/s outside band [%.0f, %.0f]", row.name, got, lo, hi)
+		}
+	}
+}
+
+func TestPCIeDevicesHaveMoreSpareArea(t *testing.T) {
+	// The Figure 14 separation depends on PCIe presets carrying more
+	// overprovisioning than the SATA consumer parts.
+	for _, sata := range []Spec{IntelX25M(), OCZColossus()} {
+		for _, pcie := range []Spec{FusionIODuo(), RamSan20(), ViridentTachION()} {
+			if pcie.SpareFraction <= sata.SpareFraction {
+				t.Fatalf("%s spare %.2f should exceed %s spare %.2f",
+					pcie.Name, pcie.SpareFraction, sata.Name, sata.SpareFraction)
+			}
+		}
+	}
+}
+
+func TestAllDevicesSurviveFullOverwrite(t *testing.T) {
+	for _, spec := range AllTable1Devices() {
+		d := NewDevice(spec)
+		for i := 0; i < spec.UserPages; i++ {
+			d.WritePage(i)
+		}
+		for i := 0; i < spec.UserPages; i++ {
+			d.WritePage(i)
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package fsva models File System Virtual Appliances (§4.2.1 of the
+// report; Abd-El-Malek et al., CMU-PDL-08-106): to stop the porting churn
+// of parallel file system client code chasing every kernel release, the
+// real client runs inside a virtual machine with a frozen OS, and the
+// application's OS carries only a small generic forwarding client. The
+// open question the CMU work answered is the cost of that indirection:
+// naive transports pay a VM world switch per operation, while
+// shared-memory rings amortize it to near-native performance — "with
+// shared memory tricks common in virtual machines, we hope that this need
+// not slow down applications significantly".
+package fsva
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Transport selects how the forwarding client reaches the appliance.
+type Transport int
+
+// Transports under comparison.
+const (
+	// Native is the baseline: client code in the application kernel.
+	Native Transport = iota
+	// SyncVMRPC crosses the VM boundary with a world switch per call.
+	SyncVMRPC
+	// SharedMemRing batches calls through a shared-memory ring with
+	// doorbells only when the ring goes idle.
+	SharedMemRing
+)
+
+func (t Transport) String() string {
+	switch t {
+	case Native:
+		return "native-kernel-client"
+	case SyncVMRPC:
+		return "fsva-sync-rpc"
+	case SharedMemRing:
+		return "fsva-shared-memory"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// Config describes the appliance deployment and workload.
+type Config struct {
+	Transport Transport
+
+	// Ops is the number of file system operations issued (synchronously).
+	Ops int
+	// OpService is the file system client's own per-op work.
+	OpService sim.Time
+	// WorldSwitch is the cost of one VM context switch (entry + exit).
+	WorldSwitch sim.Time
+	// RingBatch is how many queued ops one doorbell drains in the
+	// shared-memory transport.
+	RingBatch int
+	// Threads is the number of concurrent application threads (each
+	// issues Ops/Threads operations).
+	Threads int
+}
+
+// DefaultConfig uses the magnitudes of the CMU prototype: ~3us world
+// switches against ~20us metadata-ish client operations.
+func DefaultConfig(transport Transport) Config {
+	return Config{
+		Transport:   transport,
+		Ops:         20000,
+		OpService:   sim.Time(20e-6),
+		WorldSwitch: sim.Time(3e-6),
+		RingBatch:   16,
+		// One synchronous thread: the forwarding cost sits on the critical
+		// path of every call, as it does for a single-threaded application
+		// (concurrent threads can hide it behind the appliance's queue).
+		Threads: 1,
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	Config       Config
+	Elapsed      sim.Time
+	OpsPerSecond float64
+	// OverheadVsNative is elapsed/native - 1; filled by Compare.
+	OverheadVsNative float64
+}
+
+// Run executes the workload through the configured transport.
+func Run(cfg Config) Result {
+	if cfg.Ops < 1 || cfg.Threads < 1 || cfg.OpService <= 0 {
+		panic(fmt.Sprintf("fsva: invalid config %+v", cfg))
+	}
+	if cfg.RingBatch < 1 {
+		cfg.RingBatch = 1
+	}
+	eng := sim.NewEngine()
+	// The appliance (or kernel client) serializes per-CPU work on one
+	// service thread.
+	svc := sim.NewServer(eng, 1)
+
+	var res Result
+	res.Config = cfg
+	perThread := cfg.Ops / cfg.Threads
+	done := sim.NewBarrier(eng, cfg.Threads, func(at sim.Time) { res.Elapsed = at })
+
+	for th := 0; th < cfg.Threads; th++ {
+		th := th
+		var issue func(k int)
+		issue = func(k int) {
+			if k == perThread {
+				done.Arrive()
+				return
+			}
+			service := cfg.OpService
+			entry := sim.Time(0)
+			switch cfg.Transport {
+			case SyncVMRPC:
+				// Two world switches (into the appliance and back) on the
+				// critical path of every call.
+				entry = 2 * cfg.WorldSwitch
+			case SharedMemRing:
+				// The doorbell world switch amortizes over RingBatch ops;
+				// enqueue/dequeue adds a small fixed cost.
+				entry = 2*cfg.WorldSwitch/sim.Time(float64(cfg.RingBatch)) + sim.Time(0.3e-6)
+			}
+			eng.Schedule(entry, func() {
+				svc.Submit(service, func(sim.Time) { issue(k + 1) })
+			})
+			_ = th
+		}
+		issue(0)
+	}
+	eng.Run()
+	if res.Elapsed > 0 {
+		res.OpsPerSecond = float64(perThread*cfg.Threads) / float64(res.Elapsed)
+	}
+	return res
+}
+
+// Compare runs all transports and fills OverheadVsNative.
+func Compare(base Config) []Result {
+	out := make([]Result, 0, 3)
+	var native float64
+	for _, tr := range []Transport{Native, SyncVMRPC, SharedMemRing} {
+		cfg := base
+		cfg.Transport = tr
+		r := Run(cfg)
+		if tr == Native {
+			native = float64(r.Elapsed)
+		}
+		if native > 0 {
+			r.OverheadVsNative = float64(r.Elapsed)/native - 1
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// PortingChurn quantifies the deployment argument: with K kernel releases
+// a year and a port costing portWeeks engineer-weeks, the appliance
+// approach pays the port once per file system release instead of once per
+// kernel release. Returns engineer-weeks/year saved.
+func PortingChurn(kernelReleasesPerYear, fsReleasesPerYear int, portWeeks float64) float64 {
+	saved := float64(kernelReleasesPerYear-fsReleasesPerYear) * portWeeks
+	if saved < 0 {
+		return 0
+	}
+	return saved
+}

@@ -1,0 +1,70 @@
+package fsva
+
+import "testing"
+
+func TestTransportStrings(t *testing.T) {
+	if Native.String() != "native-kernel-client" ||
+		SyncVMRPC.String() != "fsva-sync-rpc" ||
+		SharedMemRing.String() != "fsva-shared-memory" {
+		t.Fatal("transport names wrong")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	Run(Config{})
+}
+
+func TestNativeFastest(t *testing.T) {
+	rs := Compare(DefaultConfig(Native))
+	if !(rs[0].Elapsed <= rs[2].Elapsed && rs[2].Elapsed <= rs[1].Elapsed) {
+		t.Fatalf("ordering wrong: native %v, sync %v, shm %v",
+			rs[0].Elapsed, rs[1].Elapsed, rs[2].Elapsed)
+	}
+}
+
+func TestSharedMemoryNearNative(t *testing.T) {
+	// The FSVA thesis: shared-memory forwarding costs only a few percent.
+	rs := Compare(DefaultConfig(Native))
+	shm := rs[2]
+	if shm.OverheadVsNative > 0.10 {
+		t.Fatalf("shared-memory overhead %.1f%%, want <= 10%%", shm.OverheadVsNative*100)
+	}
+	sync := rs[1]
+	if sync.OverheadVsNative < 2*shm.OverheadVsNative {
+		t.Fatalf("sync RPC overhead %.3f should dwarf shared memory %.3f",
+			sync.OverheadVsNative, shm.OverheadVsNative)
+	}
+}
+
+func TestBiggerBatchesAmortizeBetter(t *testing.T) {
+	small := DefaultConfig(SharedMemRing)
+	small.RingBatch = 2
+	big := DefaultConfig(SharedMemRing)
+	big.RingBatch = 64
+	rs, rb := Run(small), Run(big)
+	if rb.Elapsed > rs.Elapsed {
+		t.Fatalf("batch 64 (%v) should not be slower than batch 2 (%v)", rb.Elapsed, rs.Elapsed)
+	}
+}
+
+func TestPortingChurn(t *testing.T) {
+	// Quarterly kernels vs annual FS releases at 4 weeks per port.
+	if got := PortingChurn(4, 1, 4); got != 12 {
+		t.Fatalf("saved weeks = %v, want 12", got)
+	}
+	if got := PortingChurn(1, 4, 4); got != 0 {
+		t.Fatalf("negative churn should clamp to 0, got %v", got)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Run(DefaultConfig(SyncVMRPC)), Run(DefaultConfig(SyncVMRPC))
+	if a.Elapsed != b.Elapsed {
+		t.Fatal("non-deterministic")
+	}
+}

@@ -1,0 +1,95 @@
+package giga
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// CreateStormResult reports one mdtest/Metarates-style create benchmark.
+type CreateStormResult struct {
+	Servers          int
+	Clients          int
+	Files            int
+	Elapsed          sim.Time
+	CreatesPerSecond float64
+	Partitions       int
+	Splits           int64
+	AddressingErrors int64
+	LoadImbalance    float64
+}
+
+// CreateStorm runs nClients synchronous create streams totalling nFiles
+// file creations against a GIGA+ directory and reports throughput — the
+// Figure 7 experiment ("Scale and performance of Giga+ using UCAR
+// Metarates benchmark").
+func CreateStorm(cfg Config, nClients, nFiles int) CreateStormResult {
+	eng := sim.NewEngine()
+	dir := NewDir(eng, cfg)
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		clients[i] = dir.NewClient(i)
+	}
+	perClient := nFiles / nClients
+	var res CreateStormResult
+	done := sim.NewBarrier(eng, nClients, func(at sim.Time) { res.Elapsed = at })
+	for i, c := range clients {
+		i, c := i, c
+		var next func(k int)
+		next = func(k int) {
+			if k == perClient {
+				done.Arrive()
+				return
+			}
+			c.Create(fmt.Sprintf("f.%d.%d", i, k), func() { next(k + 1) })
+		}
+		next(0)
+	}
+	eng.Run()
+	res.Servers = cfg.Servers
+	res.Clients = nClients
+	res.Files = perClient * nClients
+	if res.Elapsed > 0 {
+		res.CreatesPerSecond = float64(res.Files) / float64(res.Elapsed)
+	}
+	res.Partitions = dir.Partitions()
+	res.Splits = dir.Splits
+	res.AddressingErrors = dir.AddressingErrors
+	res.LoadImbalance = dir.LoadImbalance()
+	return res
+}
+
+// SingleServerBaseline measures the same create storm against one
+// conventional metadata server (no partitioning): the non-scalable
+// baseline that motivates GIGA+.
+func SingleServerBaseline(insertTime, rpc sim.Time, nClients, nFiles int) CreateStormResult {
+	eng := sim.NewEngine()
+	srv := sim.NewServer(eng, 1)
+	perClient := nFiles / nClients
+	var res CreateStormResult
+	done := sim.NewBarrier(eng, nClients, func(at sim.Time) { res.Elapsed = at })
+	for i := 0; i < nClients; i++ {
+		var next func(k int)
+		next = func(k int) {
+			if k == perClient {
+				done.Arrive()
+				return
+			}
+			eng.Schedule(rpc, func() {
+				srv.Submit(insertTime, func(sim.Time) {
+					eng.Schedule(rpc, func() { next(k + 1) })
+				})
+			})
+		}
+		next(0)
+	}
+	eng.Run()
+	res.Servers = 1
+	res.Clients = nClients
+	res.Files = perClient * nClients
+	if res.Elapsed > 0 {
+		res.CreatesPerSecond = float64(res.Files) / float64(res.Elapsed)
+	}
+	res.Partitions = 1
+	return res
+}

@@ -1,0 +1,230 @@
+package giga
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestMappingLocateRoot(t *testing.T) {
+	m := mapping{0: 0}
+	for _, h := range []uint64{0, 1, 12345, ^uint64(0)} {
+		if p := m.locate(h); p.Index != 0 || p.Depth != 0 {
+			t.Fatalf("locate(%d) = %+v, want root", h, p)
+		}
+	}
+}
+
+func TestMappingLocateAfterSplits(t *testing.T) {
+	// Split root: 0@1 and 1@1. Then split 1@1: 1@2 and 3@2.
+	m := mapping{0: 1, 1: 2, 3: 2}
+	cases := []struct {
+		h    uint64
+		want partitionID
+	}{
+		{0b000, partitionID{0, 1}},
+		{0b010, partitionID{0, 1}},
+		{0b001, partitionID{1, 2}},
+		{0b101, partitionID{1, 2}},
+		{0b011, partitionID{3, 2}},
+		{0b111, partitionID{3, 2}},
+	}
+	for _, c := range cases {
+		if got := m.locate(c.h); got != c.want {
+			t.Fatalf("locate(%03b) = %+v, want %+v", c.h, got, c.want)
+		}
+	}
+}
+
+func TestLocateTotalProperty(t *testing.T) {
+	// After any valid split sequence, every hash locates exactly one live
+	// partition whose index matches the hash's low bits.
+	f := func(seed int64, nSplits uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := mapping{0: 0}
+		for s := 0; s < int(nSplits%40); s++ {
+			// Pick a random live partition to split.
+			keys := make([]uint64, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			k := keys[r.Intn(len(keys))]
+			d := m[k]
+			if d >= maxDepth {
+				continue
+			}
+			m[k] = d + 1
+			m[k|1<<uint(d)] = d + 1
+		}
+		for i := 0; i < 200; i++ {
+			h := r.Uint64()
+			p := m.locate(h)
+			if d, ok := m[p.Index]; !ok || d != p.Depth {
+				return false
+			}
+			if h&((1<<uint(p.Depth))-1) != p.Index {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateStormCompletesAllFiles(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.SplitThreshold = 100
+	res := CreateStorm(cfg, 8, 4000)
+	if res.Files != 4000 {
+		t.Fatalf("Files = %d, want 4000", res.Files)
+	}
+	if res.CreatesPerSecond <= 0 {
+		t.Fatalf("throughput = %v", res.CreatesPerSecond)
+	}
+	if res.Splits == 0 || res.Partitions < 4 {
+		t.Fatalf("directory never split: %+v", res)
+	}
+}
+
+func TestThroughputScalesWithServers(t *testing.T) {
+	// Figure 7: near-linear create throughput scaling.
+	// Enough clients to keep the largest configuration server-bound.
+	through := func(servers int) float64 {
+		cfg := DefaultConfig(servers)
+		cfg.SplitThreshold = 200
+		return CreateStorm(cfg, 128, 40000).CreatesPerSecond
+	}
+	t1, t4, t16 := through(1), through(4), through(16)
+	if t4 < 2*t1 {
+		t.Fatalf("4 servers %.0f/s, want >= 2x 1 server %.0f/s", t4, t1)
+	}
+	if t16 < 2.2*t4 {
+		t.Fatalf("16 servers %.0f/s, want >= 2.2x 4 servers %.0f/s", t16, t4)
+	}
+}
+
+func TestGigaBeatsSingleServerBaseline(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.SplitThreshold = 200
+	giga := CreateStorm(cfg, 32, 20000)
+	base := SingleServerBaseline(cfg.InsertTime, cfg.RPC, 32, 20000)
+	if giga.CreatesPerSecond < 3*base.CreatesPerSecond {
+		t.Fatalf("GIGA+ %.0f/s should be >= 3x single server %.0f/s",
+			giga.CreatesPerSecond, base.CreatesPerSecond)
+	}
+}
+
+func TestAddressingErrorsBoundedAndLazy(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.SplitThreshold = 100
+	res := CreateStorm(cfg, 16, 8000)
+	if res.AddressingErrors == 0 {
+		t.Fatal("expected some addressing errors from stale maps")
+	}
+	// GIGA+ guarantee: stale maps cost a small bounded number of extra
+	// hops; across the run they must be a modest fraction of creates.
+	if frac := float64(res.AddressingErrors) / float64(res.Files); frac > 0.5 {
+		t.Fatalf("addressing errors = %.2f of creates, want bounded", frac)
+	}
+}
+
+func TestLazyBeatsSyncInvalidation(t *testing.T) {
+	// The ablation: synchronous invalidation makes every client pay for
+	// every split; lazy stale maps are strictly cheaper.
+	lazy := DefaultConfig(8)
+	lazy.SplitThreshold = 100
+	syn := lazy
+	syn.SyncInvalidate = true
+	lr := CreateStorm(lazy, 16, 8000)
+	sr := CreateStorm(syn, 16, 8000)
+	if lr.CreatesPerSecond <= sr.CreatesPerSecond {
+		t.Fatalf("lazy %.0f/s should beat sync-invalidate %.0f/s",
+			lr.CreatesPerSecond, sr.CreatesPerSecond)
+	}
+}
+
+func TestLoadBalancedAcrossServers(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.SplitThreshold = 100
+	res := CreateStorm(cfg, 16, 16000)
+	if res.LoadImbalance > 3 {
+		t.Fatalf("load imbalance = %.2f, want < 3", res.LoadImbalance)
+	}
+}
+
+func TestDeterministicStorm(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.SplitThreshold = 100
+	a := CreateStorm(cfg, 8, 2000)
+	b := CreateStorm(cfg, 8, 2000)
+	if a.Elapsed != b.Elapsed || a.Splits != b.Splits {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	NewDir(sim.NewEngine(), Config{})
+}
+
+func TestHashNameStable(t *testing.T) {
+	if hashName("foo") != hashName("foo") {
+		t.Fatal("hash not stable")
+	}
+	if hashName("foo") == hashName("bar") {
+		t.Fatal("suspicious collision on trivial inputs")
+	}
+}
+
+func TestClientMergeConvergence(t *testing.T) {
+	// A client starting with a stale root map converges to the truth with
+	// bounded bounces even after many splits.
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(4)
+	cfg.SplitThreshold = 10
+	dir := NewDir(eng, cfg)
+	warm := dir.NewClient(0)
+	// Grow the directory with one client.
+	var grow func(k int)
+	grow = func(k int) {
+		if k == 500 {
+			return
+		}
+		warm.Create(fmt.Sprintf("w%d", k), func() { grow(k + 1) })
+	}
+	grow(0)
+	eng.Run()
+	if dir.Partitions() < 8 {
+		t.Fatalf("directory did not grow: %d partitions", dir.Partitions())
+	}
+	// New client with only the root in its map.
+	cold := &Client{dir: dir, m: mapping{0: 0}, id: 99}
+	dir.clients = append(dir.clients, cold)
+	did := 0
+	var create func(k int)
+	create = func(k int) {
+		if k == 50 {
+			return
+		}
+		did++
+		cold.Create(fmt.Sprintf("c%d", k), func() { create(k + 1) })
+	}
+	create(0)
+	eng.Run()
+	if did != 50 {
+		t.Fatalf("cold client completed %d creates", did)
+	}
+	// Bounded hops: far fewer than maxDepth per create on average.
+	if cold.Bounces > int64(50*6) {
+		t.Fatalf("cold client bounced %d times for 50 creates", cold.Bounces)
+	}
+}

@@ -1,0 +1,115 @@
+package hdf5sim
+
+import (
+	"testing"
+
+	"repro/internal/pfs"
+)
+
+func fsCfg() pfs.Config { return pfs.LustreLike(8) }
+
+func TestCodeAndLevelStrings(t *testing.T) {
+	if Chombo.String() != "Chombo" || GCRM.String() != "GCRM" {
+		t.Fatal("code names wrong")
+	}
+	names := map[StackLevel]string{
+		Baseline:            "baseline",
+		PlusAlignment:       "+alignment",
+		PlusCollective:      "+collective buffering",
+		PlusMetaAggregation: "+metadata aggregation",
+		PlusStripeTuning:    "+stripe tuning",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(l), l.String(), want)
+		}
+	}
+}
+
+func TestAtLevelCumulative(t *testing.T) {
+	c := AtLevel(Chombo, 8, 1<<20, PlusCollective)
+	if !c.Align || !c.Collective || c.MetaAggregate || c.TuneStriping {
+		t.Fatalf("PlusCollective flags = %+v", c)
+	}
+	b := AtLevel(Chombo, 8, 1<<20, Baseline)
+	if b.Align || b.Collective {
+		t.Fatalf("Baseline flags = %+v", b)
+	}
+}
+
+func TestProgramsCoverAllBytes(t *testing.T) {
+	for _, l := range []StackLevel{Baseline, PlusAlignment, PlusCollective, PlusStripeTuning} {
+		cfg := AtLevel(GCRM, 16, 2<<20, l)
+		progs := cfg.programs(fsCfg())
+		var data int64
+		for _, p := range progs {
+			for _, o := range p.Ops {
+				if o.Size > 512 && o.Off >= 16<<20 { // skip metadata ops
+					data += o.Size
+				}
+			}
+		}
+		want := int64(16) * (2 << 20)
+		// Alignment padding may round per-rank totals up slightly.
+		if data < want*95/100 || data > want*120/100 {
+			t.Fatalf("%v: programs carry %d data bytes, want ~%d", l, data, want)
+		}
+	}
+}
+
+func TestStackMonotonicallyImproves(t *testing.T) {
+	// Figure 13's shape: each cumulative optimization raises bandwidth (or
+	// at least never hurts).
+	results := RunStack(fsCfg(), Chombo, 32, 2<<20)
+	if len(results) != 5 {
+		t.Fatalf("got %d levels", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Bandwidth < results[i-1].Bandwidth*0.95 {
+			t.Fatalf("level %v (%.0f B/s) regressed vs %v (%.0f B/s)",
+				results[i].Level, results[i].Bandwidth,
+				results[i-1].Level, results[i-1].Bandwidth)
+		}
+	}
+}
+
+func TestFullStackOrderOfMagnitude(t *testing.T) {
+	// "Increased parallel I/O performance by up to 33 times": demand at
+	// least an order of magnitude end to end on the Lustre-like system.
+	results := RunStack(fsCfg(), Chombo, 32, 2<<20)
+	final := results[len(results)-1]
+	if final.SpeedupVsBaseline < 8 {
+		t.Fatalf("full stack speedup = %.1fx, want >= 8x", final.SpeedupVsBaseline)
+	}
+}
+
+func TestGCRMAlsoImproves(t *testing.T) {
+	results := RunStack(fsCfg(), GCRM, 32, 2<<20)
+	final := results[len(results)-1]
+	if final.SpeedupVsBaseline < 4 {
+		t.Fatalf("GCRM stack speedup = %.1fx, want >= 4x", final.SpeedupVsBaseline)
+	}
+}
+
+func TestTunedStackNearFSPeak(t *testing.T) {
+	// "Raised performance close to the achievable peak of the underlying
+	// file system": compare to the N-N streaming bandwidth on the same fs.
+	results := RunStack(fsCfg(), Chombo, 32, 2<<20)
+	final := results[len(results)-1]
+	// Achievable peak approximated by aggregate server NIC bandwidth.
+	cfg := fsCfg()
+	peak := float64(cfg.NumServers) * cfg.ServerNetBW
+	if final.Bandwidth < 0.25*peak {
+		t.Fatalf("tuned bandwidth %.0f is below 25%% of peak %.0f", final.Bandwidth, peak)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := RunStack(fsCfg(), Chombo, 8, 1<<20)
+	b := RunStack(fsCfg(), Chombo, 8, 1<<20)
+	for i := range a {
+		if a[i].Bandwidth != b[i].Bandwidth {
+			t.Fatal("non-deterministic stack results")
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package pfs
+
+import "repro/internal/sim"
+
+// File is a client handle on a file.
+type File struct {
+	fs *FS
+	st *fileState
+}
+
+// Size returns the current end-of-file offset.
+func (f *File) Size() int64 { return f.st.size }
+
+// Name returns the file's path name.
+func (f *File) Name() string { return f.st.name }
+
+// Client issues operations into the file system. Each client has its own
+// network link; a client's transfers serialize on that link, as a real
+// compute node's do.
+type Client struct {
+	fs  *FS
+	id  int
+	nic *sim.Server
+}
+
+// NewClient registers a client with the given id (ranks use their MPI rank).
+func (fs *FS) NewClient(id int) *Client {
+	return &Client{fs: fs, id: id, nic: sim.NewServer(fs.eng, 1)}
+}
+
+// ID returns the client id.
+func (c *Client) ID() int { return c.id }
+
+// parentDir returns the directory component of a path.
+func parentDir(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[:i]
+		}
+	}
+	return ""
+}
+
+// Create makes (or truncates) a file via the metadata server and passes the
+// handle to done. Creates within one parent directory serialize on that
+// directory's lock even when the metadata server has spare threads.
+func (c *Client) Create(name string, done func(*File)) {
+	fs := c.fs
+	dir := parentDir(name)
+	fs.acquireDir(dir, c.id, func() {
+		fs.mds.Submit(fs.Cfg.MetadataOp, func(sim.Time) {
+			fs.metadataOps++
+			st, ok := fs.files[name]
+			if !ok {
+				st = &fileState{id: fs.nextID, name: name}
+				fs.nextID++
+				fs.files[name] = st
+			}
+			st.size = 0
+			fs.releaseDir(dir)
+			if done != nil {
+				done(&File{fs: fs, st: st})
+			}
+		})
+	})
+}
+
+// Open returns a handle on an existing file (creating it if absent, which
+// keeps workload code simple) after a metadata round trip.
+func (c *Client) Open(name string, done func(*File)) {
+	fs := c.fs
+	fs.mds.Submit(fs.Cfg.MetadataOp, func(sim.Time) {
+		fs.metadataOps++
+		st, ok := fs.files[name]
+		if !ok {
+			st = &fileState{id: fs.nextID, name: name}
+			fs.nextID++
+			fs.files[name] = st
+		}
+		if done != nil {
+			done(&File{fs: fs, st: st})
+		}
+	})
+}
+
+// subOp is one stripe-unit-granular piece of a client write or read.
+type subOp struct {
+	unit        int64
+	offIn, size int64 // range within the stripe unit
+}
+
+// split decomposes [off, off+size) into per-stripe-unit pieces.
+func split(off, size, unit int64) []subOp {
+	var out []subOp
+	for size > 0 {
+		u := off / unit
+		within := off % unit
+		n := unit - within
+		if n > size {
+			n = size
+		}
+		out = append(out, subOp{unit: u, offIn: within, size: n})
+		off += n
+		size -= n
+	}
+	return out
+}
+
+// Write writes [off, off+size) and calls done at completion. The path per
+// stripe unit is: client NIC transfer -> RPC latency -> stripe lock
+// acquisition (revoke if another client owns it) -> server NIC -> disk
+// write, with read-modify-write if the piece does not cover its unit.
+func (c *Client) Write(f *File, off, size int64, done func()) {
+	if size <= 0 {
+		if done != nil {
+			c.fs.eng.Schedule(0, done)
+		}
+		return
+	}
+	fs := c.fs
+	pieces := split(off, size, fs.Cfg.StripeUnit)
+	barrier := sim.NewBarrier(fs.eng, len(pieces), func(sim.Time) {
+		if end := off + size; end > f.st.size {
+			f.st.size = end
+		}
+		if done != nil {
+			done()
+		}
+	})
+	for _, p := range pieces {
+		p := p
+		// The client's link serializes its own pieces.
+		c.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ClientNetBW), func(sim.Time) {
+			fs.writePiece(c.id, f.st, p, barrier.Arrive)
+		})
+	}
+}
+
+func (fs *FS) writePiece(clientID int, st *fileState, p subOp, done func()) {
+	lockSpan := fs.Cfg.LockGranularity
+	if lockSpan <= 0 {
+		lockSpan = fs.Cfg.StripeUnit
+	}
+	key := stripeKey{file: st.id, unit: (p.unit*fs.Cfg.StripeUnit + p.offIn) / lockSpan}
+	srv := fs.serverFor(st, p.unit)
+	perform := func(release bool) {
+		fs.eng.Schedule(fs.Cfg.RPCLatency, func() {
+			srv.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) {
+				srv.write(fs, st, p, func() {
+					if release {
+						fs.release(key)
+					}
+					done()
+				})
+			})
+		})
+	}
+	if fs.Cfg.LockRevoke > 0 {
+		fs.acquire(key, clientID, func() { perform(true) })
+	} else {
+		perform(false)
+	}
+}
+
+// write performs the disk I/O for one piece at the server.
+func (s *server) write(fs *FS, st *fileState, p subOp, done func()) {
+	key := stripeKey{file: st.id, unit: p.unit}
+	diskOff, ok := s.extent[key]
+	if !ok {
+		diskOff = s.next
+		s.next += fs.Cfg.StripeUnit
+		s.extent[key] = diskOff
+	}
+	full := p.offIn == 0 && p.size == fs.Cfg.StripeUnit
+	var svc sim.Time
+	if !full && fs.Cfg.RMWPartialStripe && ok {
+		// Partial overwrite of an existing unit: read it, modify, write it
+		// back — two unit-sized disk ops.
+		svc = s.dsk.Access(diskOff, fs.Cfg.StripeUnit) + s.dsk.Access(diskOff, fs.Cfg.StripeUnit)
+	} else {
+		svc = s.dsk.Access(diskOff+p.offIn, p.size)
+	}
+	s.bytesWritten += p.size
+	s.dq.Submit(svc, func(sim.Time) { done() })
+}
+
+// Read reads [off, off+size) and calls done at completion. Reads skip the
+// lock manager and RMW but follow the same network/disk path.
+func (c *Client) Read(f *File, off, size int64, done func()) {
+	if size <= 0 {
+		if done != nil {
+			c.fs.eng.Schedule(0, done)
+		}
+		return
+	}
+	fs := c.fs
+	pieces := split(off, size, fs.Cfg.StripeUnit)
+	barrier := sim.NewBarrier(fs.eng, len(pieces), func(sim.Time) {
+		if done != nil {
+			done()
+		}
+	})
+	for _, p := range pieces {
+		p := p
+		srv := fs.serverFor(f.st, p.unit)
+		fs.eng.Schedule(fs.Cfg.RPCLatency, func() {
+			srv.read(fs, f.st, p, func() {
+				c.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ClientNetBW), func(sim.Time) {
+					barrier.Arrive()
+				})
+			})
+		})
+	}
+}
+
+func (s *server) read(fs *FS, st *fileState, p subOp, done func()) {
+	key := stripeKey{file: st.id, unit: p.unit}
+	diskOff, ok := s.extent[key]
+	if !ok {
+		// Reading a hole: no disk work.
+		s.dq.Submit(0, func(sim.Time) { done() })
+		return
+	}
+	svc := s.dsk.Access(diskOff+p.offIn, p.size)
+	s.bytesRead += p.size
+	s.dq.Submit(svc, func(sim.Time) {
+		s.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) { done() })
+	})
+}

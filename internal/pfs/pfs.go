@@ -1,0 +1,352 @@
+// Package pfs simulates a striped parallel file system of the kind deployed
+// at the PDSI sites (PanFS, Lustre, GPFS): files are striped over object
+// storage servers, a distributed lock manager mediates concurrent writers,
+// and unaligned partial-stripe writes pay a read-modify-write penalty at
+// the server.
+//
+// The model exists to reproduce the pathology PLFS removes: when N clients
+// concurrently issue small, unaligned, strided writes into one shared file
+// (the N-1 checkpoint pattern), stripe-lock ping-ponging serializes the
+// clients, read-modify-write doubles and randomizes the disk traffic, and
+// aggregate bandwidth collapses to a tiny fraction of the hardware. The
+// same hardware streams at full speed when each client appends to its own
+// file (N-N) — which is exactly the transformation PLFS performs.
+package pfs
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Config describes a file system deployment.
+type Config struct {
+	Name string
+
+	// NumServers is the number of object storage servers.
+	NumServers int
+
+	// StripeUnit is the striping granularity in bytes.
+	StripeUnit int64
+
+	// ServerDisk is the geometry of each server's backing store.
+	ServerDisk disk.Geometry
+
+	// DisksPerServer aggregates several spindles per server (bandwidth
+	// scales, positioning does not improve).
+	DisksPerServer int
+
+	// ServerNetBW is each server's ingest/egress bandwidth, bytes/second.
+	ServerNetBW float64
+
+	// ClientNetBW is each client's link bandwidth, bytes/second.
+	ClientNetBW float64
+
+	// RPCLatency is the fixed per-operation messaging overhead.
+	RPCLatency sim.Time
+
+	// LockRevoke is the cost of transferring a stripe lock between
+	// clients (revocation round trip through the lock manager). Zero
+	// disables lock modeling.
+	LockRevoke sim.Time
+
+	// LockGranularity is the byte span covered by one writer lock. Zero
+	// defaults to StripeUnit. Lustre-style optimistic extent locks cover
+	// very large ranges, so unrelated small writers conflict constantly —
+	// the dominant N-1 cost on such systems.
+	LockGranularity int64
+
+	// MetadataOp is the service time of one metadata operation (create,
+	// open) at the metadata server.
+	MetadataOp sim.Time
+
+	// MetadataThreads is the metadata server's concurrency (0 means 1).
+	// Even with parallel threads, creates within one parent directory
+	// serialize on that directory's lock — the contention PLFS's hostdir
+	// spreading exists to avoid.
+	MetadataThreads int
+
+	// RMWPartialStripe: when true, a write that does not cover a full
+	// stripe unit forces the server to read the unit and write it back.
+	RMWPartialStripe bool
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NumServers < 1:
+		return fmt.Errorf("pfs: NumServers %d < 1", c.NumServers)
+	case c.StripeUnit < 1:
+		return fmt.Errorf("pfs: StripeUnit %d < 1", c.StripeUnit)
+	case c.ServerNetBW <= 0 || c.ClientNetBW <= 0:
+		return fmt.Errorf("pfs: non-positive network bandwidth")
+	case c.DisksPerServer < 1:
+		return fmt.Errorf("pfs: DisksPerServer %d < 1", c.DisksPerServer)
+	}
+	return nil
+}
+
+// PanFSLike is an object-RAID file system with a modest stripe unit and
+// per-stripe parity, so partial-stripe writes are expensive.
+func PanFSLike(servers int) Config {
+	return Config{
+		Name:             "panfs-like",
+		NumServers:       servers,
+		StripeUnit:       64 << 10,
+		ServerDisk:       disk.Enterprise2006(),
+		DisksPerServer:   4,
+		ServerNetBW:      1e9 / 8 * 0.9, // ~GbE payload
+		ClientNetBW:      1e9 / 8 * 0.9,
+		RPCLatency:       sim.Time(100e-6),
+		LockRevoke:       sim.Time(600e-6),
+		MetadataOp:       sim.Time(1e-3),
+		MetadataThreads:  4,
+		RMWPartialStripe: true,
+	}
+}
+
+// LustreLike has a large stripe size and an aggressive distributed lock
+// manager; false sharing on its wide stripes is the dominant N-1 cost.
+func LustreLike(servers int) Config {
+	return Config{
+		Name:             "lustre-like",
+		NumServers:       servers,
+		StripeUnit:       1 << 20,
+		ServerDisk:       disk.Enterprise2006(),
+		DisksPerServer:   4,
+		ServerNetBW:      1e9 / 8 * 0.9,
+		ClientNetBW:      1e9 / 8 * 0.9,
+		RPCLatency:       sim.Time(100e-6),
+		LockRevoke:       sim.Time(900e-6),
+		LockGranularity:  16 << 20, // optimistic wide extent locks
+		MetadataOp:       sim.Time(1.2e-3),
+		MetadataThreads:  4,
+		RMWPartialStripe: false, // no parity RMW, but extent-lock ping-pong remains
+	}
+}
+
+// GPFSLike uses mid-size blocks with byte-range-ish locking (modeled as
+// stripe locks with a cheaper revoke) and RMW on partial blocks.
+func GPFSLike(servers int) Config {
+	return Config{
+		Name:             "gpfs-like",
+		NumServers:       servers,
+		StripeUnit:       256 << 10,
+		ServerDisk:       disk.Enterprise2006(),
+		DisksPerServer:   4,
+		ServerNetBW:      1e9 / 8 * 0.9,
+		ClientNetBW:      1e9 / 8 * 0.9,
+		RPCLatency:       sim.Time(100e-6),
+		LockRevoke:       sim.Time(400e-6),
+		MetadataOp:       sim.Time(0.8e-3),
+		MetadataThreads:  4,
+		RMWPartialStripe: true,
+	}
+}
+
+// AllPresets returns the three deployment presets used in Figure 8.
+func AllPresets(servers int) []Config {
+	return []Config{PanFSLike(servers), LustreLike(servers), GPFSLike(servers)}
+}
+
+// stripeKey identifies one stripe unit of one file for lock ownership.
+type stripeKey struct {
+	file int
+	unit int64
+}
+
+type fileState struct {
+	id   int
+	name string
+	size int64
+}
+
+type server struct {
+	nic  *sim.Server
+	dsk  *disk.Disk
+	dq   *sim.Server // disk queue (capacity = DisksPerServer)
+	next int64       // next free byte on this server's disk
+	// extent maps (file, stripe unit) -> disk offset.
+	extent map[stripeKey]int64
+
+	bytesWritten int64
+	bytesRead    int64
+}
+
+// FS is a simulated parallel file system instance bound to a sim.Engine.
+type FS struct {
+	Cfg     Config
+	eng     *sim.Engine
+	servers []*server
+	mds     *sim.Server
+	files   map[string]*fileState
+	nextID  int
+	// locks holds per-stripe writer locks. A lock is held for the duration
+	// of the write (through the disk), so concurrent writers to one stripe
+	// serialize — the distributed-lock-manager behaviour that makes
+	// false sharing so expensive on real deployments.
+	locks map[stripeKey]*stripeLock
+
+	// dirLocks serialize creates per parent directory.
+	dirLocks map[string]*stripeLock
+
+	metadataOps int64
+	lockRevokes int64
+}
+
+// stripeLock is a FIFO mutex with an ownership-transfer penalty.
+type stripeLock struct {
+	held    bool
+	owner   int
+	waiters []lockWaiter
+}
+
+type lockWaiter struct {
+	client int
+	fn     func()
+}
+
+// New creates a file system on the given engine.
+func New(eng *sim.Engine, cfg Config) *FS {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	threads := cfg.MetadataThreads
+	if threads < 1 {
+		threads = 1
+	}
+	fs := &FS{
+		Cfg:      cfg,
+		eng:      eng,
+		files:    make(map[string]*fileState),
+		locks:    make(map[stripeKey]*stripeLock),
+		dirLocks: make(map[string]*stripeLock),
+		mds:      sim.NewServer(eng, threads),
+	}
+	for i := 0; i < cfg.NumServers; i++ {
+		fs.servers = append(fs.servers, &server{
+			nic:    sim.NewServer(eng, 1),
+			dsk:    disk.New(cfg.ServerDisk),
+			dq:     sim.NewServer(eng, cfg.DisksPerServer),
+			extent: make(map[stripeKey]int64),
+		})
+	}
+	return fs
+}
+
+// Engine returns the engine the file system is bound to.
+func (fs *FS) Engine() *sim.Engine { return fs.eng }
+
+// NumFiles reports how many files exist.
+func (fs *FS) NumFiles() int { return len(fs.files) }
+
+// MetadataOps reports completed metadata operations.
+func (fs *FS) MetadataOps() int64 { return fs.metadataOps }
+
+// LockRevokes reports how many times a stripe lock changed owner.
+func (fs *FS) LockRevokes() int64 { return fs.lockRevokes }
+
+// serverFor maps a file's stripe unit to a server, offsetting by file id so
+// different files start their stripe rotation on different servers (as real
+// deployments randomize placement) instead of convoying on server 0.
+func (fs *FS) serverFor(st *fileState, unit int64) *server {
+	return fs.servers[(st.id+int(unit))%len(fs.servers)]
+}
+
+// acquire grants the stripe lock to client and runs fn, paying the revoke
+// penalty when ownership transfers; contended requests queue FIFO.
+func (fs *FS) acquire(key stripeKey, client int, fn func()) {
+	lk := fs.locks[key]
+	if lk == nil {
+		lk = &stripeLock{owner: -1}
+		fs.locks[key] = lk
+	}
+	if lk.held {
+		lk.waiters = append(lk.waiters, lockWaiter{client: client, fn: fn})
+		return
+	}
+	lk.held = true
+	fs.grant(lk, client, fn)
+}
+
+func (fs *FS) grant(lk *stripeLock, client int, fn func()) {
+	delay := sim.Time(0)
+	if lk.owner != -1 && lk.owner != client {
+		delay = fs.Cfg.LockRevoke
+		fs.lockRevokes++
+	}
+	lk.owner = client
+	if delay > 0 {
+		fs.eng.Schedule(delay, fn)
+	} else {
+		fn()
+	}
+}
+
+// acquireDir serializes metadata operations within one parent directory.
+func (fs *FS) acquireDir(dir string, client int, fn func()) {
+	lk := fs.dirLocks[dir]
+	if lk == nil {
+		lk = &stripeLock{owner: -1}
+		fs.dirLocks[dir] = lk
+	}
+	if lk.held {
+		lk.waiters = append(lk.waiters, lockWaiter{client: client, fn: fn})
+		return
+	}
+	lk.held = true
+	lk.owner = client
+	fn()
+}
+
+func (fs *FS) releaseDir(dir string) {
+	lk := fs.dirLocks[dir]
+	if lk == nil || !lk.held {
+		panic("pfs: release of unheld directory lock")
+	}
+	if len(lk.waiters) == 0 {
+		lk.held = false
+		return
+	}
+	next := lk.waiters[0]
+	copy(lk.waiters, lk.waiters[1:])
+	lk.waiters = lk.waiters[:len(lk.waiters)-1]
+	lk.owner = next.client
+	next.fn()
+}
+
+// release hands the lock to the next waiter, if any.
+func (fs *FS) release(key stripeKey) {
+	lk := fs.locks[key]
+	if lk == nil || !lk.held {
+		panic("pfs: release of unheld stripe lock")
+	}
+	if len(lk.waiters) == 0 {
+		lk.held = false
+		return
+	}
+	next := lk.waiters[0]
+	copy(lk.waiters, lk.waiters[1:])
+	lk.waiters = lk.waiters[:len(lk.waiters)-1]
+	fs.grant(lk, next.client, next.fn)
+}
+
+// BytesWritten sums payload bytes written across servers (excludes RMW
+// traffic).
+func (fs *FS) BytesWritten() int64 {
+	var n int64
+	for _, s := range fs.servers {
+		n += s.bytesWritten
+	}
+	return n
+}
+
+// ServerUtilizations returns each server's disk-queue utilization.
+func (fs *FS) ServerUtilizations() []float64 {
+	out := make([]float64, len(fs.servers))
+	for i, s := range fs.servers {
+		out[i] = s.dq.Utilization()
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+// Package placement implements the data-placement strategy comparison of
+// the report's "Parallel Layout" exploration (§4.2.3, Molina-Estolano et
+// al.): a trace-driven simulator abstracting over how parallel file
+// systems choose storage nodes for chunks of data. Three strategy
+// families are implemented — deterministic round-robin striping
+// (PVFS-like), per-file randomized striping (PanFS-like), and
+// CRUSH-style pseudo-random hashing with replica placement and
+// remapping-on-growth (Ceph-like) — and evaluated for load balance and
+// data movement under cluster expansion.
+package placement
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Chunk identifies one placeable unit of a file.
+type Chunk struct {
+	File  uint64
+	Index int64
+	Size  int64
+}
+
+// Strategy maps chunks to servers.
+type Strategy interface {
+	Name() string
+	// Place returns the servers (primary first) storing the chunk among n
+	// servers, with the given replication factor.
+	Place(c Chunk, n, replicas int) []int
+}
+
+// RoundRobin stripes chunk i of every file to server i mod n, the
+// PVFS-style deterministic layout.
+type RoundRobin struct{}
+
+// Name identifies the strategy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Strategy.
+func (RoundRobin) Place(c Chunk, n, replicas int) []int {
+	out := make([]int, replicas)
+	for r := 0; r < replicas; r++ {
+		out[r] = int((c.Index + int64(r)) % int64(n))
+	}
+	return out
+}
+
+// FileOffsetStripe starts each file's stripe rotation at a per-file random
+// server (PanFS-like), decorrelating files.
+type FileOffsetStripe struct{}
+
+// Name identifies the strategy.
+func (FileOffsetStripe) Name() string { return "file-offset-stripe" }
+
+// Place implements Strategy.
+func (FileOffsetStripe) Place(c Chunk, n, replicas int) []int {
+	start := int(mix(c.File) % uint64(n))
+	out := make([]int, replicas)
+	for r := 0; r < replicas; r++ {
+		out[r] = (start + int(c.Index) + r) % n
+	}
+	return out
+}
+
+// CRUSHLike places each chunk pseudo-randomly by hashing (file, index,
+// replica) with highest-random-weight (rendezvous) selection, so adding a
+// server remaps only ~1/n of the data — the stable-placement property
+// Ceph's CRUSH provides.
+type CRUSHLike struct{}
+
+// Name identifies the strategy.
+func (CRUSHLike) Name() string { return "crush-like" }
+
+// Place implements Strategy.
+func (CRUSHLike) Place(c Chunk, n, replicas int) []int {
+	if replicas > n {
+		replicas = n
+	}
+	type cand struct {
+		server int
+		weight uint64
+	}
+	// Rendezvous hashing: score every server, take the top `replicas`.
+	best := make([]cand, 0, replicas)
+	for s := 0; s < n; s++ {
+		w := mix(c.File ^ uint64(c.Index)<<20 ^ uint64(s)*0x9e3779b97f4a7c15)
+		inserted := false
+		for i := range best {
+			if w > best[i].weight {
+				best = append(best, cand{})
+				copy(best[i+1:], best[i:])
+				best[i] = cand{server: s, weight: w}
+				inserted = true
+				break
+			}
+		}
+		if !inserted && len(best) < replicas {
+			best = append(best, cand{server: s, weight: w})
+		}
+		if len(best) > replicas {
+			best = best[:replicas]
+		}
+	}
+	out := make([]int, len(best))
+	for i, b := range best {
+		out[i] = b.server
+	}
+	return out
+}
+
+func mix(x uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(x >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// Evaluation measures a strategy over a workload of chunks.
+type Evaluation struct {
+	Strategy string
+	Servers  int
+	// BytesPerServer is the stored load per server (primary replica only).
+	BytesPerServer []int64
+	// Imbalance is max/mean primary load.
+	Imbalance float64
+	// ReplicaSpread is the fraction of chunks whose replicas all land on
+	// distinct servers (must be 1.0 for correct strategies when n >=
+	// replicas).
+	ReplicaSpread float64
+}
+
+// Evaluate places every chunk and computes balance metrics.
+func Evaluate(s Strategy, chunks []Chunk, n, replicas int) Evaluation {
+	if n < 1 || replicas < 1 {
+		panic(fmt.Sprintf("placement: invalid n=%d replicas=%d", n, replicas))
+	}
+	ev := Evaluation{Strategy: s.Name(), Servers: n, BytesPerServer: make([]int64, n)}
+	distinct := 0
+	for _, c := range chunks {
+		places := s.Place(c, n, replicas)
+		ev.BytesPerServer[places[0]] += c.Size
+		seen := map[int]bool{}
+		ok := true
+		for _, p := range places {
+			if p < 0 || p >= n {
+				panic(fmt.Sprintf("placement: %s placed chunk on invalid server %d", s.Name(), p))
+			}
+			if seen[p] {
+				ok = false
+			}
+			seen[p] = true
+		}
+		if ok {
+			distinct++
+		}
+	}
+	var total, maxLoad int64
+	for _, b := range ev.BytesPerServer {
+		total += b
+		if b > maxLoad {
+			maxLoad = b
+		}
+	}
+	if total > 0 {
+		ev.Imbalance = float64(maxLoad) / (float64(total) / float64(n))
+	}
+	if len(chunks) > 0 {
+		ev.ReplicaSpread = float64(distinct) / float64(len(chunks))
+	}
+	return ev
+}
+
+// MovedFraction reports the fraction of chunks whose primary changes when
+// the cluster grows from n to m servers — CRUSH-style placement moves
+// ~(m-n)/m; striping strategies reshuffle nearly everything.
+func MovedFraction(s Strategy, chunks []Chunk, n, m, replicas int) float64 {
+	if len(chunks) == 0 {
+		return 0
+	}
+	moved := 0
+	for _, c := range chunks {
+		if s.Place(c, n, replicas)[0] != s.Place(c, m, replicas)[0] {
+			moved++
+		}
+	}
+	return float64(moved) / float64(len(chunks))
+}
+
+// CheckpointChunks builds the N-1 checkpoint workload used in the study:
+// files of fileChunks chunks each.
+func CheckpointChunks(files, fileChunks int, chunkSize int64) []Chunk {
+	out := make([]Chunk, 0, files*fileChunks)
+	for f := 0; f < files; f++ {
+		for i := 0; i < fileChunks; i++ {
+			out = append(out, Chunk{File: uint64(f) + 1, Index: int64(i), Size: chunkSize})
+		}
+	}
+	return out
+}

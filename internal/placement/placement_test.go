@@ -1,0 +1,124 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func workload() []Chunk { return CheckpointChunks(64, 128, 1<<20) }
+
+func TestRoundRobinDeterministicAndValid(t *testing.T) {
+	s := RoundRobin{}
+	c := Chunk{File: 3, Index: 7, Size: 1}
+	a := s.Place(c, 8, 2)
+	b := s.Place(c, 8, 2)
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatal("round robin not deterministic")
+	}
+	if a[0] != 7 || a[1] != 0 {
+		t.Fatalf("round robin placement = %v, want [7 0]", a)
+	}
+}
+
+func TestAllStrategiesPlaceWithinRange(t *testing.T) {
+	f := func(file uint64, index int64, n8 uint8) bool {
+		n := int(n8)%16 + 1
+		c := Chunk{File: file, Index: index & 0xffff, Size: 1}
+		if c.Index < 0 {
+			c.Index = -c.Index
+		}
+		for _, s := range []Strategy{RoundRobin{}, FileOffsetStripe{}, CRUSHLike{}} {
+			repl := 2
+			if repl > n {
+				repl = n
+			}
+			for _, p := range s.Place(c, n, repl) {
+				if p < 0 || p >= n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicasDistinct(t *testing.T) {
+	for _, s := range []Strategy{RoundRobin{}, FileOffsetStripe{}, CRUSHLike{}} {
+		ev := Evaluate(s, workload(), 10, 3)
+		if ev.ReplicaSpread != 1.0 {
+			t.Errorf("%s: replica spread = %v, want 1.0", s.Name(), ev.ReplicaSpread)
+		}
+	}
+}
+
+func TestAllStrategiesReasonablyBalanced(t *testing.T) {
+	for _, s := range []Strategy{RoundRobin{}, FileOffsetStripe{}, CRUSHLike{}} {
+		ev := Evaluate(s, workload(), 8, 1)
+		if ev.Imbalance > 1.5 {
+			t.Errorf("%s: imbalance = %v, want <= 1.5 on a uniform workload", s.Name(), ev.Imbalance)
+		}
+	}
+}
+
+func TestRoundRobinConvoysOnSmallFiles(t *testing.T) {
+	// Many single-chunk files: round robin dumps every file's chunk 0 on
+	// server 0; the randomized strategies spread them.
+	chunks := CheckpointChunks(1000, 1, 1<<20)
+	rr := Evaluate(RoundRobin{}, chunks, 8, 1)
+	fo := Evaluate(FileOffsetStripe{}, chunks, 8, 1)
+	if rr.Imbalance < 7.9 {
+		t.Fatalf("round-robin single-chunk imbalance = %v, want ~8 (all on server 0)", rr.Imbalance)
+	}
+	if fo.Imbalance > 1.5 {
+		t.Fatalf("file-offset imbalance = %v, want small", fo.Imbalance)
+	}
+}
+
+func TestCRUSHMovesLittleOnGrowth(t *testing.T) {
+	chunks := workload()
+	crush := MovedFraction(CRUSHLike{}, chunks, 8, 9, 1)
+	rr := MovedFraction(RoundRobin{}, chunks, 8, 9, 1)
+	// Ideal minimum is 1/9 ~ 0.11.
+	if crush > 0.25 {
+		t.Fatalf("CRUSH-like moved %.2f on 8->9 growth, want near 1/9", crush)
+	}
+	if rr < 0.5 {
+		t.Fatalf("round-robin moved only %.2f, expected a wholesale reshuffle", rr)
+	}
+	if crush >= rr {
+		t.Fatal("CRUSH-like should move less than round robin")
+	}
+}
+
+func TestEvaluatePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid args did not panic")
+		}
+	}()
+	Evaluate(RoundRobin{}, workload(), 0, 1)
+}
+
+func TestCheckpointChunksShape(t *testing.T) {
+	chunks := CheckpointChunks(3, 4, 100)
+	if len(chunks) != 12 {
+		t.Fatalf("got %d chunks, want 12", len(chunks))
+	}
+	if chunks[0].File == 0 {
+		t.Fatal("file ids should be nonzero for hashing")
+	}
+}
+
+func TestCRUSHReplicasCappedAtServers(t *testing.T) {
+	c := Chunk{File: 1, Index: 0, Size: 1}
+	places := CRUSHLike{}.Place(c, 2, 3)
+	if len(places) != 2 {
+		t.Fatalf("got %d replicas on a 2-server cluster, want 2", len(places))
+	}
+	if places[0] == places[1] {
+		t.Fatal("duplicate replica placement")
+	}
+}

@@ -1,0 +1,182 @@
+// Package pnfs models Parallel NFS (§2.2 of the report; NFSv4.1), the
+// standardization effort PDSI's Michigan/CITI team carried into the Linux
+// kernel: conventional NFS funnels every byte through one server — the
+// NAS bottleneck — while pNFS lets a client ask the metadata server for a
+// *layout* (a map of which data servers hold which stripes) and then move
+// data directly and in parallel, "eliminating the server bottlenecks
+// inherent to NAS access methods".
+//
+// The model compares three stacks on identical hardware:
+//
+//   - PlainNFS: one server fronts all storage; all clients' data passes
+//     through its NIC.
+//   - PNFSFiles: the NFSv4.1 files layout — clients fetch a layout from
+//     the metadata server (an extra round trip, cached thereafter) and
+//     stripe I/O directly across data servers.
+//   - PNFSNoCache: an ablation where layouts are re-fetched per I/O,
+//     showing why layout caching (and its recall protocol) matters.
+package pnfs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Stack selects the protocol variant.
+type Stack int
+
+// Variants under comparison.
+const (
+	PlainNFS Stack = iota
+	PNFSFiles
+	PNFSNoCache
+)
+
+func (s Stack) String() string {
+	switch s {
+	case PlainNFS:
+		return "nfs"
+	case PNFSFiles:
+		return "pnfs-files"
+	case PNFSNoCache:
+		return "pnfs-no-layout-cache"
+	default:
+		return fmt.Sprintf("Stack(%d)", int(s))
+	}
+}
+
+// Config describes the deployment and workload.
+type Config struct {
+	Clients     int
+	DataServers int
+	Stack       Stack
+
+	// ServerNIC is each server's (and the lone NFS server's) bandwidth in
+	// bytes/second; ClientNIC each client's.
+	ServerNIC float64
+	ClientNIC float64
+	// RPC is one request-response latency; LayoutGet the metadata
+	// server's service time for a layout grant.
+	RPC       sim.Time
+	LayoutGet sim.Time
+
+	// BytesPerClient of sequential I/O per client, issued in IOSize
+	// requests.
+	BytesPerClient int64
+	IOSize         int64
+}
+
+// DefaultConfig models the GbE cluster scale CITI tested at.
+func DefaultConfig(clients, dataServers int, stack Stack) Config {
+	return Config{
+		Clients:        clients,
+		DataServers:    dataServers,
+		Stack:          stack,
+		ServerNIC:      1e9 / 8 * 0.9,
+		ClientNIC:      1e9 / 8 * 0.9,
+		RPC:            sim.Time(200e-6),
+		LayoutGet:      sim.Time(400e-6),
+		BytesPerClient: 64 << 20,
+		IOSize:         1 << 20,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Clients < 1 || c.DataServers < 1 || c.BytesPerClient < c.IOSize || c.IOSize < 1 {
+		return fmt.Errorf("pnfs: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Result reports one run.
+type Result struct {
+	Config       Config
+	Elapsed      sim.Time
+	AggregateBps float64
+	LayoutGets   int64
+}
+
+// Run executes the workload: every client writes BytesPerClient
+// sequentially through the configured stack.
+func Run(cfg Config) Result {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	mds := sim.NewServer(eng, 1)
+	dataSrv := make([]*sim.Server, cfg.DataServers)
+	for i := range dataSrv {
+		dataSrv[i] = sim.NewServer(eng, 1)
+	}
+	nfsSrv := sim.NewServer(eng, 1) // the single NAS head for PlainNFS
+
+	var res Result
+	res.Config = cfg
+	done := sim.NewBarrier(eng, cfg.Clients, func(at sim.Time) { res.Elapsed = at })
+
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		clientNIC := sim.NewServer(eng, 1)
+		nIOs := cfg.BytesPerClient / cfg.IOSize
+		hasLayout := false
+
+		var issue func(k int64)
+		doIO := func(k int64) {
+			// The client's own NIC serializes its transfers.
+			clientNIC.Submit(sim.Time(float64(cfg.IOSize)/cfg.ClientNIC), func(sim.Time) {
+				switch cfg.Stack {
+				case PlainNFS:
+					// Everything through the single server's NIC.
+					eng.Schedule(cfg.RPC, func() {
+						nfsSrv.Submit(sim.Time(float64(cfg.IOSize)/cfg.ServerNIC), func(sim.Time) {
+							issue(k + 1)
+						})
+					})
+				default:
+					// Direct to the data server owning this stripe.
+					srv := dataSrv[(int(k)+c)%cfg.DataServers]
+					eng.Schedule(cfg.RPC, func() {
+						srv.Submit(sim.Time(float64(cfg.IOSize)/cfg.ServerNIC), func(sim.Time) {
+							issue(k + 1)
+						})
+					})
+				}
+			})
+		}
+		issue = func(k int64) {
+			if k == nIOs {
+				done.Arrive()
+				return
+			}
+			needLayout := cfg.Stack == PNFSNoCache ||
+				(cfg.Stack == PNFSFiles && !hasLayout)
+			if needLayout {
+				hasLayout = true
+				res.LayoutGets++
+				eng.Schedule(cfg.RPC, func() {
+					mds.Submit(cfg.LayoutGet, func(sim.Time) { doIO(k) })
+				})
+				return
+			}
+			doIO(k)
+		}
+		issue(0)
+	}
+	eng.Run()
+	total := float64(cfg.Clients) * float64(cfg.BytesPerClient)
+	if res.Elapsed > 0 {
+		res.AggregateBps = total / float64(res.Elapsed)
+	}
+	return res
+}
+
+// ScalingSweep measures aggregate bandwidth as data servers grow, for the
+// classic pNFS scaling curve (NFS stays flat at one server's NIC).
+func ScalingSweep(clients int, serverCounts []int, stack Stack) []Result {
+	out := make([]Result, 0, len(serverCounts))
+	for _, n := range serverCounts {
+		out = append(out, Run(DefaultConfig(clients, n, stack)))
+	}
+	return out
+}

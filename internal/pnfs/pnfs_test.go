@@ -1,0 +1,94 @@
+package pnfs
+
+import (
+	"testing"
+)
+
+func TestStackStrings(t *testing.T) {
+	if PlainNFS.String() != "nfs" || PNFSFiles.String() != "pnfs-files" ||
+		PNFSNoCache.String() != "pnfs-no-layout-cache" {
+		t.Fatal("stack names wrong")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	Run(Config{})
+}
+
+func TestRunsComplete(t *testing.T) {
+	for _, s := range []Stack{PlainNFS, PNFSFiles, PNFSNoCache} {
+		r := Run(DefaultConfig(8, 8, s))
+		if r.Elapsed <= 0 || r.AggregateBps <= 0 {
+			t.Fatalf("%v: empty result %+v", s, r)
+		}
+	}
+}
+
+func TestPlainNFSBottlenecksAtOneServer(t *testing.T) {
+	cfg := DefaultConfig(16, 8, PlainNFS)
+	r := Run(cfg)
+	// All bytes pass one NIC: aggregate cannot exceed it.
+	if r.AggregateBps > cfg.ServerNIC*1.01 {
+		t.Fatalf("NFS aggregate %.0f exceeds the single server NIC %.0f",
+			r.AggregateBps, cfg.ServerNIC)
+	}
+}
+
+func TestPNFSScalesWithDataServers(t *testing.T) {
+	// The core pNFS claim: direct parallel access scales aggregate
+	// bandwidth with data servers.
+	rs := ScalingSweep(16, []int{1, 2, 4, 8}, PNFSFiles)
+	if rs[1].AggregateBps < 1.6*rs[0].AggregateBps {
+		t.Fatalf("2 servers %.0f, want ~2x 1 server %.0f",
+			rs[1].AggregateBps, rs[0].AggregateBps)
+	}
+	if rs[3].AggregateBps < 3*rs[0].AggregateBps {
+		t.Fatalf("8 servers %.0f, want >= 3x 1 server %.0f",
+			rs[3].AggregateBps, rs[0].AggregateBps)
+	}
+}
+
+func TestNFSStaysFlat(t *testing.T) {
+	rs := ScalingSweep(16, []int{1, 8}, PlainNFS)
+	ratio := rs[1].AggregateBps / rs[0].AggregateBps
+	if ratio > 1.1 {
+		t.Fatalf("plain NFS scaled %.2fx with data servers it cannot reach", ratio)
+	}
+}
+
+func TestPNFSBeatsNFSAtScale(t *testing.T) {
+	nfs := Run(DefaultConfig(16, 8, PlainNFS))
+	p := Run(DefaultConfig(16, 8, PNFSFiles))
+	if p.AggregateBps < 3*nfs.AggregateBps {
+		t.Fatalf("pNFS %.0f should be >= 3x NFS %.0f at 8 data servers",
+			p.AggregateBps, nfs.AggregateBps)
+	}
+}
+
+func TestLayoutCachingMatters(t *testing.T) {
+	cached := Run(DefaultConfig(16, 8, PNFSFiles))
+	uncached := Run(DefaultConfig(16, 8, PNFSNoCache))
+	if cached.LayoutGets != 16 {
+		t.Fatalf("cached layouts fetched %d times, want once per client", cached.LayoutGets)
+	}
+	if uncached.LayoutGets <= cached.LayoutGets {
+		t.Fatal("no-cache ablation should fetch far more layouts")
+	}
+	if uncached.AggregateBps >= cached.AggregateBps {
+		t.Fatalf("layout refetching should cost bandwidth: %.0f vs %.0f",
+			uncached.AggregateBps, cached.AggregateBps)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(DefaultConfig(8, 4, PNFSFiles))
+	b := Run(DefaultConfig(8, 4, PNFSFiles))
+	if a.Elapsed != b.Elapsed {
+		t.Fatal("non-deterministic")
+	}
+}

@@ -1,0 +1,109 @@
+package posixext
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpenModeStrings(t *testing.T) {
+	if PosixOpen.String() != "posix open() x N" || GroupOpen.String() != "openg()+bcast+openfh()" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	RunOpen(OpenConfig{})
+}
+
+func TestPosixOpenStormSerializesAtMDS(t *testing.T) {
+	r := RunOpen(DefaultOpenConfig(256, PosixOpen))
+	if r.MDSOps != 256 {
+		t.Fatalf("MDS ops = %d, want one per process", r.MDSOps)
+	}
+	// 256 resolutions / 4 threads at 1ms each: at least 64ms.
+	if r.Elapsed < 0.064 {
+		t.Fatalf("elapsed %v too fast for a serialized storm", r.Elapsed)
+	}
+}
+
+func TestGroupOpenSingleResolution(t *testing.T) {
+	r := RunOpen(DefaultOpenConfig(256, GroupOpen))
+	if r.MDSOps != 1 {
+		t.Fatalf("MDS ops = %d, want 1", r.MDSOps)
+	}
+}
+
+func TestGroupOpenMuchFasterAtScale(t *testing.T) {
+	posix := RunOpen(DefaultOpenConfig(256, PosixOpen))
+	group := RunOpen(DefaultOpenConfig(256, GroupOpen))
+	if ratio := float64(posix.Elapsed) / float64(group.Elapsed); ratio < 10 {
+		t.Fatalf("group open advantage %.1fx at 256 procs, want >= 10x", ratio)
+	}
+}
+
+func TestGroupOpenScalesLogarithmically(t *testing.T) {
+	small := RunOpen(DefaultOpenConfig(64, GroupOpen))
+	big := RunOpen(DefaultOpenConfig(4096, GroupOpen))
+	// 64x more processes should cost far less than 2x the time.
+	if float64(big.Elapsed) > 2*float64(small.Elapsed) {
+		t.Fatalf("group open grew %v -> %v for 64x procs; want near-log growth",
+			small.Elapsed, big.Elapsed)
+	}
+}
+
+func TestTreeLevel(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4}
+	for p, want := range cases {
+		if got := treeLevel(p); got != want {
+			t.Errorf("treeLevel(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	l := Layout{StripeUnit: 64 << 10, StripeCount: 8}
+	if got := l.AlignUp(47008); got != 64<<10 {
+		t.Fatalf("AlignUp(47008) = %d, want 65536", got)
+	}
+	if got := l.AlignUp(64 << 10); got != 64<<10 {
+		t.Fatalf("aligned size changed: %d", got)
+	}
+	if got := (Layout{}).AlignUp(100); got != 100 {
+		t.Fatalf("zero layout should be identity, got %d", got)
+	}
+}
+
+func TestAlignUpProperty(t *testing.T) {
+	l := Layout{StripeUnit: 64 << 10}
+	f := func(raw uint32) bool {
+		size := int64(raw%(4<<20)) + 1
+		a := l.AlignUp(size)
+		return a >= size && a%l.StripeUnit == 0 && a-size < l.StripeUnit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMisalignment(t *testing.T) {
+	l := Layout{StripeUnit: 100}
+	if got := l.Misalignment(250); got != 0.5 {
+		t.Fatalf("Misalignment(250) = %v, want 0.5", got)
+	}
+	if got := l.Misalignment(200); got != 0 {
+		t.Fatalf("Misalignment(200) = %v, want 0", got)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := RunOpen(DefaultOpenConfig(128, GroupOpen))
+	b := RunOpen(DefaultOpenConfig(128, GroupOpen))
+	if a.Elapsed != b.Elapsed {
+		t.Fatal("non-deterministic")
+	}
+}

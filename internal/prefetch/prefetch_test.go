@@ -1,0 +1,118 @@
+package prefetch
+
+import (
+	"testing"
+)
+
+func TestInvalidOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("order 0 did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestNoPredictionOnColdStart(t *testing.T) {
+	p := New(2)
+	if _, ok := p.Predict(); ok {
+		t.Fatal("cold predictor should not predict")
+	}
+	p.Observe(1)
+	if _, ok := p.Predict(); ok {
+		t.Fatal("single access gives no context successor yet")
+	}
+}
+
+func TestSequentialStreamLearned(t *testing.T) {
+	m := Evaluate(NestedLoop(10, 100), 1)
+	// After the first pass the order-1 model knows i -> i+1 (and the wrap).
+	if m.Accuracy < 0.85 {
+		t.Fatalf("order-1 accuracy on nested loop = %v, want high", m.Accuracy)
+	}
+	if m.Coverage < 0.85 {
+		t.Fatalf("order-1 coverage = %v, want high", m.Coverage)
+	}
+}
+
+func TestMixedPhasesDefeatOrderOne(t *testing.T) {
+	stream := MixedPhases(64, 4, 12)
+	m1 := Evaluate(stream, 1)
+	// Order-1 sees two successors for most blocks: accuracy capped well
+	// below 1.
+	if m1.Accuracy > 0.8 {
+		t.Fatalf("order-1 accuracy on mixed phases = %v, expected ambiguity", m1.Accuracy)
+	}
+}
+
+func TestGMCBeatsOrderOne(t *testing.T) {
+	// The GMC result: multi-order context raises coverage and accuracy on
+	// phase-mixed workloads.
+	stream := MixedPhases(64, 4, 12)
+	m1 := Evaluate(stream, 1)
+	m3 := Evaluate(stream, 3)
+	if m3.Accuracy <= m1.Accuracy {
+		t.Fatalf("order-3 accuracy %v should beat order-1 %v", m3.Accuracy, m1.Accuracy)
+	}
+	if m3.Coverage <= m1.Coverage {
+		t.Fatalf("order-3 coverage %v should beat order-1 %v", m3.Coverage, m1.Coverage)
+	}
+	// The paper's benefit bar: >= 24% improvement in effective hits.
+	if m3.Coverage < m1.Coverage*1.24 {
+		t.Fatalf("GMC coverage gain %.2fx, want >= 1.24x", m3.Coverage/m1.Coverage)
+	}
+}
+
+func TestHigherOrderNotWorseOnSequential(t *testing.T) {
+	stream := NestedLoop(10, 100)
+	m1 := Evaluate(stream, 1)
+	m3 := Evaluate(stream, 3)
+	if m3.Accuracy < m1.Accuracy*0.95 {
+		t.Fatalf("order-3 accuracy %v regressed vs order-1 %v on sequential", m3.Accuracy, m1.Accuracy)
+	}
+}
+
+func TestPredictDeterministicTieBreak(t *testing.T) {
+	p := New(1)
+	// Context 5 -> successors 7 and 3 with equal counts: smaller id wins.
+	p.Observe(5)
+	p.Observe(7)
+	p.Observe(5)
+	p.Observe(3)
+	p.Observe(5)
+	pred, ok := p.Predict()
+	if !ok || pred != 3 {
+		t.Fatalf("tie break prediction = (%d, %v), want (3, true)", pred, ok)
+	}
+}
+
+func TestCountersConsistent(t *testing.T) {
+	p := New(2)
+	stream := NestedLoop(5, 20)
+	for _, b := range stream {
+		p.Observe(b)
+	}
+	if p.Hits+p.Misses != p.Predictions {
+		t.Fatalf("hits %d + misses %d != predictions %d", p.Hits, p.Misses, p.Predictions)
+	}
+	if p.Predictions+p.NoPrediction != int64(len(stream)-1) {
+		t.Fatalf("predictions %d + none %d != accesses-1 %d",
+			p.Predictions, p.NoPrediction, len(stream)-1)
+	}
+}
+
+func TestMixedPhasesCoverAllBlocks(t *testing.T) {
+	stream := MixedPhases(16, 4, 1)
+	seen := map[int64]int{}
+	for _, b := range stream {
+		seen[b]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("stream touches %d blocks, want 16", len(seen))
+	}
+	for b, n := range seen {
+		if n != 2 { // once sequential, once strided
+			t.Fatalf("block %d touched %d times, want 2", b, n)
+		}
+	}
+}

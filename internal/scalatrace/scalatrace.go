@@ -1,0 +1,251 @@
+// Package scalatrace reimplements the heart of the ORNL/NCSU scalable
+// event tracing work the report describes (§5.4.2): ScalaTrace-style
+// lossless compression of I/O event streams. Parallel applications emit
+// highly repetitive event sequences — a timestep loop issues the same
+// write pattern thousands of times — so instead of storing every event,
+// the compressor recognizes repeating patterns and stores the pattern once
+// with a repetition count (run-length encoding over a grammar of event
+// signatures). Trace size then grows with the *structure* of the program,
+// not its running time, which is what made tracing at scale feasible.
+//
+// The implementation compresses a stream of Events into a sequence of
+// Terms, where a Term is either a literal event or a repeated group, found
+// greedily by searching for the longest immediately-repeating suffix (a
+// simplified loop-detection pass applied online, as ScalaTrace does
+// intra-node before its cross-node merge).
+package scalatrace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one traced I/O operation signature. Offsets are stored as
+// deltas by callers who want loop bodies to match (ScalaTrace's
+// "location-independent" encoding); the compressor itself just compares
+// events for equality.
+type Event struct {
+	Op    string // "write", "read", "open", ...
+	File  int32  // file handle id
+	Delta int64  // offset delta from the previous op on this handle
+	Size  int64
+}
+
+// Term is a node of the compressed stream: either a single literal Event
+// (Count == 1, no Body) or a repeated group Body occurring Count times.
+type Term struct {
+	Event Event  // valid when Body is empty
+	Body  []Term // non-empty for groups
+	Count int
+}
+
+// isGroup reports whether the term is a repeated group.
+func (t Term) isGroup() bool { return len(t.Body) > 0 }
+
+// Trace is a compressed event stream.
+type Trace struct {
+	Terms []Term
+	n     int // uncompressed length
+}
+
+// Len returns the number of uncompressed events represented.
+func (tr *Trace) Len() int { return tr.n }
+
+// TermCount returns the number of stored terms (compressed size metric,
+// counting nested terms).
+func (tr *Trace) TermCount() int {
+	var count func(ts []Term) int
+	count = func(ts []Term) int {
+		n := 0
+		for _, t := range ts {
+			n++
+			n += count(t.Body)
+		}
+		return n
+	}
+	return count(tr.Terms)
+}
+
+// CompressionRatio is uncompressed events per stored term.
+func (tr *Trace) CompressionRatio() float64 {
+	tc := tr.TermCount()
+	if tc == 0 {
+		return 1
+	}
+	return float64(tr.n) / float64(tc)
+}
+
+// Compressor builds a Trace online, one event at a time.
+type Compressor struct {
+	tr Trace
+	// window bounds how far back the suffix search looks, keeping Append
+	// amortized-cheap for long streams.
+	window int
+}
+
+// NewCompressor returns a compressor with the given loop-search window
+// (maximum loop body length in terms; ScalaTrace bounds this similarly).
+func NewCompressor(window int) *Compressor {
+	if window < 1 {
+		window = 64
+	}
+	return &Compressor{window: window}
+}
+
+// termsEqual compares two terms structurally.
+func termsEqual(a, b Term) bool {
+	if a.isGroup() != b.isGroup() || a.Count != b.Count {
+		return false
+	}
+	if !a.isGroup() {
+		return a.Event == b.Event
+	}
+	if len(a.Body) != len(b.Body) {
+		return false
+	}
+	for i := range a.Body {
+		if !termsEqual(a.Body[i], b.Body[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Append adds one event and opportunistically folds repeats.
+func (c *Compressor) Append(e Event) {
+	c.tr.Terms = append(c.tr.Terms, Term{Event: e, Count: 1})
+	c.tr.n++
+	c.fold()
+}
+
+// fold looks for an immediately repeating suffix of length L (in terms)
+// and merges it: ... X Y X Y -> ... (X Y)x2; an existing group followed by
+// another occurrence of its body increments its count.
+func (c *Compressor) fold() {
+	for {
+		terms := c.tr.Terms
+		n := len(terms)
+		folded := false
+		maxL := c.window
+		if maxL > n-1 {
+			maxL = n - 1
+		}
+		for l := 1; l <= maxL; l++ {
+			// Case 1: the l terms before the suffix form a group whose
+			// body equals the suffix: increment its count.
+			if l <= n-1 {
+				g := terms[n-l-1]
+				if g.isGroup() && len(g.Body) == l && bodyMatches(g.Body, terms[n-l:]) {
+					g.Count++
+					c.tr.Terms = append(terms[:n-l-1], g)
+					folded = true
+					break
+				}
+			}
+			// Case 2: two adjacent identical runs of length l: fold into a
+			// group with count 2.
+			if 2*l <= n && runsEqual(terms[n-2*l:n-l], terms[n-l:]) {
+				body := append([]Term(nil), terms[n-2*l:n-l]...)
+				g := Term{Body: body, Count: 2}
+				c.tr.Terms = append(terms[:n-2*l], g)
+				folded = true
+				break
+			}
+		}
+		if !folded {
+			return
+		}
+	}
+}
+
+// bodyMatches reports whether suffix terms equal the group body (literal
+// terms only need event equality with count 1).
+func bodyMatches(body, suffix []Term) bool {
+	if len(body) != len(suffix) {
+		return false
+	}
+	for i := range body {
+		if !termsEqual(body[i], suffix[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func runsEqual(a, b []Term) bool { return bodyMatches(a, b) }
+
+// Trace returns the compressed trace built so far.
+func (c *Compressor) Trace() *Trace { return &c.tr }
+
+// Expand replays the trace back into the full event stream (the "replay
+// mechanism" the ORNL team extended with user-defined actions).
+func (tr *Trace) Expand() []Event {
+	out := make([]Event, 0, tr.n)
+	var walk func(ts []Term)
+	walk = func(ts []Term) {
+		for _, t := range ts {
+			if t.isGroup() {
+				for i := 0; i < t.Count; i++ {
+					walk(t.Body)
+				}
+				continue
+			}
+			for i := 0; i < t.Count; i++ {
+				out = append(out, t.Event)
+			}
+		}
+	}
+	walk(tr.Terms)
+	return out
+}
+
+// Replay invokes fn for every uncompressed event without materializing the
+// stream.
+func (tr *Trace) Replay(fn func(Event)) {
+	var walk func(ts []Term)
+	walk = func(ts []Term) {
+		for _, t := range ts {
+			if t.isGroup() {
+				for i := 0; i < t.Count; i++ {
+					walk(t.Body)
+				}
+				continue
+			}
+			for i := 0; i < t.Count; i++ {
+				fn(t.Event)
+			}
+		}
+	}
+	walk(tr.Terms)
+}
+
+// String renders the structure compactly, e.g. "(write read)x1000 close".
+func (tr *Trace) String() string {
+	var b strings.Builder
+	var walk func(ts []Term)
+	walk = func(ts []Term) {
+		for i, t := range ts {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			if t.isGroup() {
+				b.WriteByte('(')
+				walk(t.Body)
+				fmt.Fprintf(&b, ")x%d", t.Count)
+				continue
+			}
+			b.WriteString(t.Event.Op)
+		}
+	}
+	walk(tr.Terms)
+	return b.String()
+}
+
+// Compress is the convenience one-shot API.
+func Compress(events []Event, window int) *Trace {
+	c := NewCompressor(window)
+	for _, e := range events {
+		c.Append(e)
+	}
+	return c.Trace()
+}

@@ -1,0 +1,201 @@
+package scalatrace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ev(op string) Event { return Event{Op: op, File: 1, Delta: 4096, Size: 4096} }
+
+func TestEmptyTrace(t *testing.T) {
+	tr := Compress(nil, 0)
+	if tr.Len() != 0 || tr.TermCount() != 0 {
+		t.Fatalf("empty trace: %+v", tr)
+	}
+	if got := tr.CompressionRatio(); got != 1 {
+		t.Fatalf("empty ratio = %v", got)
+	}
+	if out := tr.Expand(); len(out) != 0 {
+		t.Fatalf("expand = %v", out)
+	}
+}
+
+func TestSimpleRepetitionFolds(t *testing.T) {
+	var events []Event
+	for i := 0; i < 1000; i++ {
+		events = append(events, ev("write"))
+	}
+	tr := Compress(events, 64)
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// A x1000 should compress to very few terms (nested doubling groups).
+	if tr.TermCount() > 30 {
+		t.Fatalf("TermCount = %d for 1000 identical events, want tiny", tr.TermCount())
+	}
+	if tr.CompressionRatio() < 30 {
+		t.Fatalf("ratio = %v, want large", tr.CompressionRatio())
+	}
+}
+
+func TestLoopBodyFolds(t *testing.T) {
+	// A timestep loop: (open write write close) x 500.
+	var events []Event
+	for i := 0; i < 500; i++ {
+		events = append(events,
+			ev("open"), ev("write"), ev("write"), ev("close"))
+	}
+	tr := Compress(events, 64)
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.TermCount() > 40 {
+		t.Fatalf("TermCount = %d for a 4-event loop x500", tr.TermCount())
+	}
+	out := tr.Expand()
+	if len(out) != len(events) {
+		t.Fatalf("expand length %d, want %d", len(out), len(events))
+	}
+	for i := range out {
+		if out[i] != events[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, out[i], events[i])
+		}
+	}
+}
+
+func TestCompressedSizeGrowsWithStructureNotLength(t *testing.T) {
+	// The ScalaTrace property: doubling the iteration count must not
+	// double the trace size.
+	loop := []Event{ev("open"), ev("write"), ev("close")}
+	build := func(iters int) []Event {
+		var out []Event
+		for i := 0; i < iters; i++ {
+			out = append(out, loop...)
+		}
+		return out
+	}
+	small := Compress(build(100), 64).TermCount()
+	large := Compress(build(10000), 64).TermCount()
+	if large > small*4 {
+		t.Fatalf("100x more iterations grew terms %d -> %d; want sublinear", small, large)
+	}
+}
+
+func TestExpandRoundTripProperty(t *testing.T) {
+	ops := []string{"open", "read", "write", "close"}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var events []Event
+		// Random stream with embedded repetition.
+		for len(events) < int(n)+1 {
+			if r.Intn(2) == 0 {
+				// Literal burst.
+				events = append(events, ev(ops[r.Intn(len(ops))]))
+				continue
+			}
+			// Repeated block.
+			blockLen := r.Intn(3) + 1
+			reps := r.Intn(5) + 1
+			var block []Event
+			for i := 0; i < blockLen; i++ {
+				block = append(block, ev(ops[r.Intn(len(ops))]))
+			}
+			for i := 0; i < reps; i++ {
+				events = append(events, block...)
+			}
+		}
+		tr := Compress(events, 32)
+		if tr.Len() != len(events) {
+			return false
+		}
+		out := tr.Expand()
+		if len(out) != len(events) {
+			return false
+		}
+		for i := range out {
+			if out[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayMatchesExpand(t *testing.T) {
+	var events []Event
+	for i := 0; i < 100; i++ {
+		events = append(events, ev("write"), ev("read"))
+	}
+	tr := Compress(events, 32)
+	var replayed []Event
+	tr.Replay(func(e Event) { replayed = append(replayed, e) })
+	expanded := tr.Expand()
+	if len(replayed) != len(expanded) {
+		t.Fatalf("replay %d vs expand %d", len(replayed), len(expanded))
+	}
+	for i := range replayed {
+		if replayed[i] != expanded[i] {
+			t.Fatal("replay diverges from expand")
+		}
+	}
+}
+
+func TestDistinctEventsDoNotFold(t *testing.T) {
+	// Events differing in any field are different loop bodies.
+	a := Event{Op: "write", File: 1, Delta: 0, Size: 4096}
+	b := Event{Op: "write", File: 1, Delta: 0, Size: 8192}
+	tr := Compress([]Event{a, b, a, b, a, b}, 32)
+	// (a b)x3 is the right folding — but a and b must stay distinct events.
+	out := tr.Expand()
+	for i, e := range out {
+		want := a
+		if i%2 == 1 {
+			want = b
+		}
+		if e != want {
+			t.Fatalf("event %d = %+v, want %+v", i, e, want)
+		}
+	}
+	if tr.TermCount() > 3 {
+		t.Fatalf("TermCount = %d, want (a b)x3 folded", tr.TermCount())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tr := Compress([]Event{ev("open"), ev("write"), ev("write"), ev("close")}, 32)
+	s := tr.String()
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+	// "open (write)x2 close" is the expected shape.
+	if want := "open (write)x2 close"; s != want {
+		t.Fatalf("String() = %q, want %q", s, want)
+	}
+}
+
+func TestWindowBoundsRespected(t *testing.T) {
+	// A loop body longer than the window cannot fold; correctness must
+	// hold anyway.
+	var block []Event
+	for i := 0; i < 8; i++ {
+		block = append(block, Event{Op: "write", File: int32(i), Size: 1})
+	}
+	var events []Event
+	for i := 0; i < 10; i++ {
+		events = append(events, block...)
+	}
+	tr := Compress(events, 4) // window smaller than the 8-event body
+	out := tr.Expand()
+	if len(out) != len(events) {
+		t.Fatalf("expand %d, want %d", len(out), len(events))
+	}
+	for i := range out {
+		if out[i] != events[i] {
+			t.Fatal("round trip broken under small window")
+		}
+	}
+}

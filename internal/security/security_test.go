@@ -1,0 +1,90 @@
+package security
+
+import (
+	"testing"
+)
+
+func TestModeStrings(t *testing.T) {
+	if NoSecurity.String() != "no-security" ||
+		PerFileCaps.String() != "per-file caps" ||
+		ExtendedCaps.String() != "extended caps (Maat)" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	Run(Config{})
+}
+
+func TestBaselineIssuesNothing(t *testing.T) {
+	res := Run(DefaultConfig(16, NoSecurity, true))
+	if res.CapsIssued != 0 || res.VerifiesDone != 0 {
+		t.Fatalf("unsecured run touched security machinery: %+v", res)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("run did not complete")
+	}
+}
+
+func TestCapabilityIssuanceCounts(t *testing.T) {
+	perFile := Run(DefaultConfig(32, PerFileCaps, true))
+	if perFile.CapsIssued != 32 {
+		t.Fatalf("per-file caps issued %d, want one per client", perFile.CapsIssued)
+	}
+	ext := Run(DefaultConfig(32, ExtendedCaps, true))
+	if ext.CapsIssued != 1 {
+		t.Fatalf("extended caps issued %d, want 1 job-wide", ext.CapsIssued)
+	}
+	if ext.VerifiesDone != 32*200 {
+		t.Fatalf("verifies = %d, want one per op", ext.VerifiesDone)
+	}
+}
+
+func TestMaatOverheadWithinPublishedBounds(t *testing.T) {
+	// "performance degradation of at most 6-7% on workloads with shared
+	// files and shared disks, with typical overheads averaging 1-2%".
+	shared := Overhead(DefaultConfig(32, ExtendedCaps, true))
+	if shared < 0 || shared > 0.07 {
+		t.Fatalf("shared-file Maat overhead = %.3f, want <= 0.07", shared)
+	}
+	private := Overhead(DefaultConfig(32, ExtendedCaps, false))
+	if private < 0 || private > 0.05 {
+		t.Fatalf("private-file Maat overhead = %.3f, want small", private)
+	}
+}
+
+func TestExtendedCapsBeatPerFileCapsOnSharedOpens(t *testing.T) {
+	// The N-1 open storm: per-(client,file) capabilities serialize at the
+	// MDS; the job-wide capability does not.
+	pf := Run(DefaultConfig(64, PerFileCaps, true))
+	ext := Run(DefaultConfig(64, ExtendedCaps, true))
+	if ext.Elapsed > pf.Elapsed {
+		t.Fatalf("extended caps %v should not be slower than per-file %v",
+			ext.Elapsed, pf.Elapsed)
+	}
+	if pf.CapsIssued <= ext.CapsIssued {
+		t.Fatal("per-file caps should issue more capabilities")
+	}
+}
+
+func TestOverheadGrowsWithVerifyCost(t *testing.T) {
+	cheap := DefaultConfig(16, ExtendedCaps, true)
+	costly := cheap
+	costly.OSDVerify = cheap.OSDVerify * 20
+	if Overhead(costly) <= Overhead(cheap) {
+		t.Fatal("20x verify cost should raise overhead")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(DefaultConfig(16, ExtendedCaps, true))
+	b := Run(DefaultConfig(16, ExtendedCaps, true))
+	if a.Elapsed != b.Elapsed || a.CapsIssued != b.CapsIssued {
+		t.Fatal("non-deterministic security run")
+	}
+}

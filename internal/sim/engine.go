@@ -1,0 +1,161 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// shared by every substrate in this repository: the parallel file system
+// model, the disk and flash device models, the TCP incast simulator, the
+// Argon scheduler, and the failure-trace generator.
+//
+// The kernel is a classic event-list engine: a virtual clock, a priority
+// queue of timestamped callbacks, and a handful of composable resources
+// (FIFO servers, token pools). Determinism is guaranteed by (a) a stable
+// tie-break on event insertion order and (b) explicit seeding of every
+// random source, so a simulation re-run with the same seed reproduces the
+// same trajectory bit for bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds. Using a float64 keeps device models
+// (which naturally work in fractional milliseconds) simple; determinism is
+// unaffected because all arithmetic is itself deterministic.
+type Time float64
+
+// Infinity is a time later than any event the engine will ever dispatch.
+const Infinity = Time(math.MaxFloat64)
+
+// Seconds formats a Time for human-readable output.
+func (t Time) Seconds() float64 { return float64(t) }
+
+func (t Time) String() string {
+	switch {
+	case t >= 1:
+		return fmt.Sprintf("%.3fs", float64(t))
+	case t >= 1e-3:
+		return fmt.Sprintf("%.3fms", float64(t)*1e3)
+	default:
+		return fmt.Sprintf("%.3fus", float64(t)*1e6)
+	}
+}
+
+// An event is a callback scheduled at a virtual timestamp. seq breaks ties
+// so that events scheduled earlier at the same timestamp run first.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// EventID identifies a scheduled event so it can be cancelled (e.g. a TCP
+// retransmission timer that is disarmed when the ACK arrives).
+type EventID struct{ e *event }
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; model concurrency is expressed as interleaved events, not
+// goroutines, which is what makes runs reproducible.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	nsteps uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events dispatched so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Schedule runs fn after delay. A negative delay is treated as zero.
+func (e *Engine) Schedule(delay Time, fn func()) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past is an error in the
+// model, so it panics rather than silently reordering history.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev}
+}
+
+// Cancel disarms a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.e != nil {
+		id.e.dead = true
+	}
+}
+
+// Run dispatches events until the queue is empty and returns the final
+// virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(Infinity) }
+
+// RunUntil dispatches events with timestamps <= deadline. The clock is left
+// at the timestamp of the last dispatched event (or at deadline if that is
+// earlier than the next pending event and deadline is finite).
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > deadline {
+			if deadline < Infinity {
+				e.now = deadline
+			}
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		e.nsteps++
+		next.fn()
+	}
+	if deadline < Infinity && deadline > e.now {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending reports the number of live events still queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

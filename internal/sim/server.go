@@ -1,0 +1,123 @@
+package sim
+
+// Server models a resource that serves requests one (or k) at a time in
+// FIFO order with caller-supplied service times: a disk arm, a metadata
+// server CPU, a network link. It is the workhorse queueing primitive used
+// by the parallel file system and directory-service models.
+type Server struct {
+	eng     *Engine
+	cap     int
+	busy    int
+	waiting []*request
+
+	// Busy time accounting for utilization reporting.
+	busySince  Time
+	busyTotal  Time
+	served     uint64
+	waitedTime Time
+}
+
+type request struct {
+	service Time
+	done    func(Time)
+}
+
+// NewServer returns a FIFO server with the given concurrency (capacity >= 1).
+func NewServer(eng *Engine, capacity int) *Server {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Server{eng: eng, cap: capacity}
+}
+
+// Submit enqueues a request requiring the given service time; done (if
+// non-nil) is invoked at completion with the completion timestamp.
+func (s *Server) Submit(service Time, done func(Time)) {
+	r := &request{service: service, done: done}
+	if s.busy < s.cap {
+		s.start(r, s.eng.Now())
+		return
+	}
+	s.waiting = append(s.waiting, r)
+}
+
+func (s *Server) start(r *request, at Time) {
+	if s.busy == 0 {
+		s.busySince = at
+	}
+	s.busy++
+	s.eng.At(at+r.service, func() { s.finish(r) })
+}
+
+func (s *Server) finish(r *request) {
+	s.busy--
+	s.served++
+	if s.busy == 0 {
+		s.busyTotal += s.eng.Now() - s.busySince
+	}
+	if r.done != nil {
+		r.done(s.eng.Now())
+	}
+	if len(s.waiting) > 0 && s.busy < s.cap {
+		next := s.waiting[0]
+		copy(s.waiting, s.waiting[1:])
+		s.waiting = s.waiting[:len(s.waiting)-1]
+		s.start(next, s.eng.Now())
+	}
+}
+
+// QueueLen reports the number of requests waiting (not in service).
+func (s *Server) QueueLen() int { return len(s.waiting) }
+
+// Served reports the number of completed requests.
+func (s *Server) Served() uint64 { return s.served }
+
+// BusyTime reports accumulated time with at least one request in service.
+func (s *Server) BusyTime() Time {
+	t := s.busyTotal
+	if s.busy > 0 {
+		t += s.eng.Now() - s.busySince
+	}
+	return t
+}
+
+// Utilization reports BusyTime divided by elapsed simulated time.
+func (s *Server) Utilization() float64 {
+	if s.eng.Now() == 0 {
+		return 0
+	}
+	return float64(s.BusyTime()) / float64(s.eng.Now())
+}
+
+// Barrier invokes done once Arrive has been called n times. It models the
+// synchronization point at the end of a parallel phase (all ranks finished
+// writing their checkpoint shard).
+type Barrier struct {
+	need int
+	got  int
+	done func(Time)
+	eng  *Engine
+}
+
+// NewBarrier creates a barrier over n arrivals.
+func NewBarrier(eng *Engine, n int, done func(Time)) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier needs n > 0")
+	}
+	return &Barrier{need: n, done: done, eng: eng}
+}
+
+// Arrive records one arrival; the last arrival fires the completion
+// callback at the current time.
+func (b *Barrier) Arrive() {
+	b.got++
+	if b.got == b.need && b.done != nil {
+		b.done(b.eng.Now())
+	}
+	if b.got > b.need {
+		panic("sim: barrier arrivals exceed n")
+	}
+}
+
+// Remaining reports how many arrivals are still outstanding.
+func (b *Barrier) Remaining() int { return b.need - b.got }

@@ -1,0 +1,76 @@
+package tape
+
+import "testing"
+
+func TestArchiveShape(t *testing.T) {
+	classes := NERSCArchive()
+	total := 0
+	for _, c := range classes {
+		total += c.Count
+	}
+	if total != 23820 {
+		t.Fatalf("archive has %d tapes, want 23820 (report total)", total)
+	}
+}
+
+func TestMigrationReadabilityMatchesReport(t *testing.T) {
+	// Report: 99.945% probability of reading 100% of each tape; 13 bad
+	// tapes out of 23,820 with < 100 GB lost.
+	s := Campaign(NERSCArchive(), 5, 42)
+	if s.ReadabilityFraction < 0.999 {
+		t.Fatalf("readability = %.5f, want >= 0.999", s.ReadabilityFraction)
+	}
+	if s.Unreadable == 0 {
+		t.Fatal("expected a handful of unreadable tapes, got zero")
+	}
+	if s.Unreadable > 60 {
+		t.Fatalf("unreadable = %d, want tens at most", s.Unreadable)
+	}
+	if s.LostGB > 200 {
+		t.Fatalf("lost %.1f GB, want under ~100-200 GB", s.LostGB)
+	}
+	if s.DataGB < 4e6 {
+		t.Fatalf("archive only %.0f GB, want multi-PB", s.DataGB)
+	}
+}
+
+func TestSinglePassApplianceOverstates(t *testing.T) {
+	// The appliance reads once; the migration retried 3-5 times. First-pass
+	// flags must exceed true unreadables by a wide margin.
+	one := Campaign(NERSCArchive(), 1, 42)
+	five := Campaign(NERSCArchive(), 5, 42)
+	if one.Unreadable <= five.Unreadable {
+		t.Fatalf("1-pass unreadable %d should exceed 5-pass %d", one.Unreadable, five.Unreadable)
+	}
+	if five.FlaggedFirstPass < 3*five.Unreadable {
+		t.Fatalf("first-pass flags %d should far exceed real bad tapes %d",
+			five.FlaggedFirstPass, five.Unreadable)
+	}
+}
+
+func TestOlderMediaWorse(t *testing.T) {
+	classes := NERSCArchive()
+	young := Campaign([]MediaClass{classes[0]}, 5, 7)
+	old := Campaign([]MediaClass{classes[2]}, 5, 7)
+	if old.ReadabilityFraction > young.ReadabilityFraction {
+		t.Fatalf("12-year media readability %.5f should not beat 2-year %.5f",
+			old.ReadabilityFraction, young.ReadabilityFraction)
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	a := Campaign(NERSCArchive(), 3, 5)
+	b := Campaign(NERSCArchive(), 3, 5)
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestInvalidRetriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("maxRetries 0 did not panic")
+		}
+	}()
+	Campaign(NERSCArchive(), 0, 1)
+}

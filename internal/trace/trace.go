@@ -1,0 +1,293 @@
+// Package trace implements PDSI-style parallel I/O traces and the Ninjat
+// visualization (LANL's tool for concurrent single-file write patterns,
+// Figure 15 of the report): each record is one write (rank, offset,
+// length, time); the renderer wraps the file's byte range into rows and
+// marks each region with the rank that wrote it, which makes N-1 strided
+// interleavings instantly recognizable. The package also provides the
+// pattern classifier used by the analysis tooling.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Record is one traced write.
+type Record struct {
+	Rank   int32
+	Offset int64
+	Length int64
+	Start  float64 // seconds
+	End    float64
+}
+
+// Trace is an ordered set of records for one logical file.
+type Trace struct {
+	Records []Record
+}
+
+// Add appends a record.
+func (t *Trace) Add(r Record) { t.Records = append(t.Records, r) }
+
+// Size returns the highest byte written + 1.
+func (t *Trace) Size() int64 {
+	var max int64
+	for _, r := range t.Records {
+		if end := r.Offset + r.Length; end > max {
+			max = end
+		}
+	}
+	return max
+}
+
+// Ranks returns the number of distinct ranks appearing.
+func (t *Trace) Ranks() int {
+	seen := map[int32]bool{}
+	for _, r := range t.Records {
+		seen[r.Rank] = true
+	}
+	return len(seen)
+}
+
+// rankGlyph maps a rank to a printable cell.
+func rankGlyph(rank int32) byte {
+	const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if rank < 0 {
+		return '.'
+	}
+	return glyphs[int(rank)%len(glyphs)]
+}
+
+// RenderMap draws the Ninjat "file as a wrapped linear array" view: width
+// cells per row, rows covering the whole file; each cell shows the rank
+// whose write covers the majority of that cell ('.' = never written).
+func (t *Trace) RenderMap(width, rows int) []string {
+	size := t.Size()
+	if size == 0 || width < 1 || rows < 1 {
+		return nil
+	}
+	cells := width * rows
+	owner := make([]int32, cells)
+	coverage := make([]int64, cells)
+	for i := range owner {
+		owner[i] = -1
+	}
+	bytesPerCell := (size + int64(cells) - 1) / int64(cells)
+	for _, r := range t.Records {
+		first := r.Offset / bytesPerCell
+		last := (r.Offset + r.Length - 1) / bytesPerCell
+		for c := first; c <= last && c < int64(cells); c++ {
+			cellStart := c * bytesPerCell
+			cellEnd := cellStart + bytesPerCell
+			lo, hi := r.Offset, r.Offset+r.Length
+			if lo < cellStart {
+				lo = cellStart
+			}
+			if hi > cellEnd {
+				hi = cellEnd
+			}
+			if hi-lo > coverage[c] {
+				coverage[c] = hi - lo
+				owner[c] = r.Rank
+			}
+		}
+	}
+	out := make([]string, rows)
+	var b strings.Builder
+	for row := 0; row < rows; row++ {
+		b.Reset()
+		for col := 0; col < width; col++ {
+			b.WriteByte(rankGlyph(owner[row*width+col]))
+		}
+		out[row] = b.String()
+	}
+	return out
+}
+
+// RenderTimeline draws the left-hand Ninjat view: time on x, offset on y;
+// each cell marks the rank writing that offset band during that time band.
+func (t *Trace) RenderTimeline(width, rows int) []string {
+	size := t.Size()
+	if size == 0 || len(t.Records) == 0 {
+		return nil
+	}
+	var tMax float64
+	for _, r := range t.Records {
+		if r.End > tMax {
+			tMax = r.End
+		}
+	}
+	if tMax == 0 {
+		tMax = 1
+	}
+	grid := make([][]int32, rows)
+	for i := range grid {
+		grid[i] = make([]int32, width)
+		for j := range grid[i] {
+			grid[i][j] = -1
+		}
+	}
+	for _, r := range t.Records {
+		col := int(r.Start / tMax * float64(width))
+		if col >= width {
+			col = width - 1
+		}
+		row := int(float64(r.Offset) / float64(size) * float64(rows))
+		if row >= rows {
+			row = rows - 1
+		}
+		grid[rows-1-row][col] = r.Rank // offset grows upward
+	}
+	out := make([]string, rows)
+	var b strings.Builder
+	for i, rowCells := range grid {
+		b.Reset()
+		for _, rank := range rowCells {
+			b.WriteByte(rankGlyph(rank))
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+// Pattern classifies a concurrent-write trace.
+type Pattern int
+
+// Recognized patterns.
+const (
+	Unknown Pattern = iota
+	N1StridedPattern
+	N1SegmentedPattern
+	NNPattern // single-writer (per-file) sequential
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case N1StridedPattern:
+		return "N-1 strided"
+	case N1SegmentedPattern:
+		return "N-1 segmented"
+	case NNPattern:
+		return "N-N (single writer)"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify infers the access pattern from offsets: single writer ->
+// NNPattern; per-rank contiguous blocks -> segmented; per-rank constant
+// stride larger than the record -> strided.
+func Classify(t *Trace) Pattern {
+	if len(t.Records) == 0 {
+		return Unknown
+	}
+	byRank := map[int32][]Record{}
+	for _, r := range t.Records {
+		byRank[r.Rank] = append(byRank[r.Rank], r)
+	}
+	if len(byRank) == 1 {
+		return NNPattern
+	}
+	strided, segmented := 0, 0
+	for _, recs := range byRank {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Offset < recs[j].Offset })
+		if len(recs) < 2 {
+			continue
+		}
+		// Examine gaps between consecutive writes of this rank.
+		contiguous, constStride := true, true
+		stride := recs[1].Offset - recs[0].Offset
+		for i := 1; i < len(recs); i++ {
+			gap := recs[i].Offset - recs[i-1].Offset
+			if gap != recs[i-1].Length {
+				contiguous = false
+			}
+			if gap != stride {
+				constStride = false
+			}
+		}
+		switch {
+		case contiguous:
+			segmented++
+		case constStride && stride > recs[0].Length:
+			strided++
+		}
+	}
+	switch {
+	case strided > segmented && strided > 0:
+		return N1StridedPattern
+	case segmented > 0:
+		return N1SegmentedPattern
+	default:
+		return Unknown
+	}
+}
+
+// Stats summarizes a trace the way the released PDSI characterizations do.
+type Stats struct {
+	Records     int
+	Ranks       int
+	Bytes       int64
+	MeanSize    float64
+	Aligned4K   float64 // fraction of writes 4KiB-aligned in offset and size
+	Pattern     Pattern
+	Description string
+}
+
+// Summarize computes trace statistics.
+func Summarize(t *Trace) Stats {
+	s := Stats{Records: len(t.Records), Ranks: t.Ranks(), Pattern: Classify(t)}
+	var aligned int
+	for _, r := range t.Records {
+		s.Bytes += r.Length
+		if r.Offset%4096 == 0 && r.Length%4096 == 0 {
+			aligned++
+		}
+	}
+	if s.Records > 0 {
+		s.MeanSize = float64(s.Bytes) / float64(s.Records)
+		s.Aligned4K = float64(aligned) / float64(s.Records)
+	}
+	s.Description = fmt.Sprintf("%d writes by %d ranks, %d bytes, mean %.0f B, %.0f%% 4K-aligned, pattern %s",
+		s.Records, s.Ranks, s.Bytes, s.MeanSize, s.Aligned4K*100, s.Pattern)
+	return s
+}
+
+// SyntheticN1Strided builds the canonical checkpoint trace: ranks writes
+// recs records of recSize each, interleaved round-robin.
+func SyntheticN1Strided(ranks, recs int, recSize int64) *Trace {
+	t := &Trace{}
+	for i := 0; i < recs; i++ {
+		for rank := 0; rank < ranks; rank++ {
+			idx := int64(i*ranks + rank)
+			t.Add(Record{
+				Rank:   int32(rank),
+				Offset: idx * recSize,
+				Length: recSize,
+				Start:  float64(i),
+				End:    float64(i) + 0.5,
+			})
+		}
+	}
+	return t
+}
+
+// SyntheticN1Segmented builds the contiguous-segment shared-file trace.
+func SyntheticN1Segmented(ranks, recs int, recSize int64) *Trace {
+	t := &Trace{}
+	perRank := int64(recs) * recSize
+	for rank := 0; rank < ranks; rank++ {
+		base := int64(rank) * perRank
+		for i := 0; i < recs; i++ {
+			t.Add(Record{
+				Rank:   int32(rank),
+				Offset: base + int64(i)*recSize,
+				Length: recSize,
+				Start:  float64(i),
+				End:    float64(i) + 0.5,
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSyntheticTraceSizes(t *testing.T) {
+	tr := SyntheticN1Strided(4, 10, 100)
+	if got, want := tr.Size(), int64(4*10*100); got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	if tr.Ranks() != 4 {
+		t.Fatalf("Ranks = %d, want 4", tr.Ranks())
+	}
+	if len(tr.Records) != 40 {
+		t.Fatalf("records = %d, want 40", len(tr.Records))
+	}
+}
+
+func TestClassifyStrided(t *testing.T) {
+	tr := SyntheticN1Strided(8, 20, 47008)
+	if got := Classify(tr); got != N1StridedPattern {
+		t.Fatalf("Classify = %v, want strided", got)
+	}
+}
+
+func TestClassifySegmented(t *testing.T) {
+	tr := SyntheticN1Segmented(8, 20, 47008)
+	if got := Classify(tr); got != N1SegmentedPattern {
+		t.Fatalf("Classify = %v, want segmented", got)
+	}
+}
+
+func TestClassifySingleWriter(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 10; i++ {
+		tr.Add(Record{Rank: 0, Offset: int64(i * 100), Length: 100})
+	}
+	if got := Classify(tr); got != NNPattern {
+		t.Fatalf("Classify = %v, want NN", got)
+	}
+	if Classify(&Trace{}) != Unknown {
+		t.Fatal("empty trace should classify Unknown")
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	if N1StridedPattern.String() != "N-1 strided" ||
+		N1SegmentedPattern.String() != "N-1 segmented" ||
+		NNPattern.String() != "N-N (single writer)" ||
+		Unknown.String() != "unknown" {
+		t.Fatal("pattern names wrong")
+	}
+}
+
+func TestRenderMapShowsInterleaving(t *testing.T) {
+	// 2 ranks, 2 records each of 100 bytes: layout 0,1,0,1.
+	tr := SyntheticN1Strided(2, 2, 100)
+	rows := tr.RenderMap(4, 1)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0] != "0101" {
+		t.Fatalf("map = %q, want 0101", rows[0])
+	}
+}
+
+func TestRenderMapSegmented(t *testing.T) {
+	tr := SyntheticN1Segmented(2, 2, 100)
+	rows := tr.RenderMap(4, 1)
+	if rows[0] != "0011" {
+		t.Fatalf("map = %q, want 0011", rows[0])
+	}
+}
+
+func TestRenderMapDimensions(t *testing.T) {
+	tr := SyntheticN1Strided(4, 8, 1000)
+	rows := tr.RenderMap(16, 4)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if len(row) != 16 {
+			t.Fatalf("row %q has width %d, want 16", row, len(row))
+		}
+	}
+	if tr2 := (&Trace{}); tr2.RenderMap(8, 2) != nil {
+		t.Fatal("empty trace should render nil")
+	}
+}
+
+func TestRenderTimelineNonEmpty(t *testing.T) {
+	tr := SyntheticN1Strided(4, 8, 1000)
+	rows := tr.RenderTimeline(20, 6)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	joined := strings.Join(rows, "")
+	if !strings.ContainsAny(joined, "0123") {
+		t.Fatalf("timeline shows no ranks: %q", joined)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := SyntheticN1Strided(4, 10, 4096)
+	s := Summarize(tr)
+	if s.Records != 40 || s.Ranks != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Bytes != 40*4096 {
+		t.Fatalf("Bytes = %d", s.Bytes)
+	}
+	if s.Aligned4K != 1.0 {
+		t.Fatalf("Aligned4K = %v, want 1 for 4096-byte records", s.Aligned4K)
+	}
+	if s.Pattern != N1StridedPattern {
+		t.Fatalf("Pattern = %v", s.Pattern)
+	}
+	un := SyntheticN1Strided(4, 10, 47008)
+	su := Summarize(un)
+	if su.Aligned4K != 0 {
+		t.Fatalf("unaligned trace Aligned4K = %v, want 0", su.Aligned4K)
+	}
+	if !strings.Contains(su.Description, "N-1 strided") {
+		t.Fatalf("description %q missing pattern", su.Description)
+	}
+}
+
+func TestRankGlyphs(t *testing.T) {
+	if rankGlyph(-1) != '.' {
+		t.Fatal("hole glyph wrong")
+	}
+	if rankGlyph(0) != '0' || rankGlyph(10) != 'a' {
+		t.Fatal("glyph mapping wrong")
+	}
+	// Wraps for very large ranks.
+	if rankGlyph(62) != '0' {
+		t.Fatalf("glyph(62) = %c, want wrap to 0", rankGlyph(62))
+	}
+}

@@ -1,0 +1,96 @@
+// Package plfs is the public API of the PLFS (Parallel Log-structured File
+// System) reproduction. PLFS is interposition middleware for checkpoint
+// I/O: it decouples a concurrently written shared file into one
+// append-only data log and index log per writer, converting arbitrarily
+// small, strided, unaligned N-to-1 write patterns into streaming N-to-N
+// appends that every parallel file system serves at full bandwidth. The
+// logical file's contents are resolved at read time by merging the index
+// logs (last writer wins).
+//
+// Typical use:
+//
+//	backend := plfs.NewMemBackend()
+//	c, _ := plfs.CreateContainer(backend, "/ckpt", plfs.DefaultOptions())
+//	w, _ := c.OpenWriter(rank)       // one writer per process, no coordination
+//	w.WriteAt(state, myOffset)       // any offset, any size — always an append
+//	w.Close()
+//	r, _ := c.OpenReader()           // merges every writer's index
+//	r.ReadAt(buf, 0)                 // transparent logical view
+//
+// The implementation lives in repro/internal/core; this package re-exports
+// it for library users.
+package plfs
+
+import "repro/internal/core"
+
+// Core types, re-exported.
+type (
+	// Backend is the POSIX-ish storage namespace PLFS runs on top of.
+	Backend = core.Backend
+	// BackendFile is an append-writable, randomly readable backing file.
+	BackendFile = core.BackendFile
+	// MemBackend is the in-memory reference backend.
+	MemBackend = core.MemBackend
+	// Options tunes container layout (hostdir spreading, index coalescing).
+	Options = core.Options
+	// Container is an open PLFS container — one logical file.
+	Container = core.Container
+	// Writer is a single process's uncoordinated write handle.
+	Writer = core.Writer
+	// Reader is the merged, resolved read view of a container.
+	Reader = core.Reader
+	// IndexEntry is one logical-write record in a writer's index log.
+	IndexEntry = core.IndexEntry
+	// GlobalIndex is the merged and conflict-resolved container index.
+	GlobalIndex = core.GlobalIndex
+	// Piece is a resolved mapping of a logical range onto a data log.
+	Piece = core.Piece
+	// Mount is the FUSE-flavored interface: logical paths transparently
+	// become containers, so PLFS-oblivious code gets the speedup too.
+	Mount = core.Mount
+	// LogicalFile is an open per-process handle through a Mount.
+	LogicalFile = core.LogicalFile
+	// ReadSeeker adapts a LogicalFile to io.Reader/io.Seeker.
+	ReadSeeker = core.ReadSeeker
+)
+
+// Errors, re-exported.
+var (
+	ErrNotExist = core.ErrNotExist
+	ErrExist    = core.ErrExist
+	ErrClosed   = core.ErrClosed
+)
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend { return core.NewMemBackend() }
+
+// DefaultOptions matches PLFS defaults (32 hostdirs, no coalescing).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// CreateContainer makes a new container directory tree on the backend.
+func CreateContainer(b Backend, path string, opts Options) (*Container, error) {
+	return core.CreateContainer(b, path, opts)
+}
+
+// OpenContainer opens an existing container.
+func OpenContainer(b Backend, path string, opts Options) (*Container, error) {
+	return core.OpenContainer(b, path, opts)
+}
+
+// IsContainer reports whether path holds a PLFS container.
+func IsContainer(b Backend, path string) bool { return core.IsContainer(b, path) }
+
+// BuildGlobalIndex merges raw index entries with last-writer-wins
+// resolution; exposed for tooling that inspects containers.
+func BuildGlobalIndex(entries []IndexEntry) *GlobalIndex {
+	return core.BuildGlobalIndex(entries)
+}
+
+// NewMount attaches a PLFS mount at root on the backend, creating missing
+// ancestor directories.
+func NewMount(b Backend, root string, opts Options) (*Mount, error) {
+	return core.NewMount(b, root, opts)
+}
+
+// NewReadSeeker wraps an open LogicalFile at position zero.
+func NewReadSeeker(f *LogicalFile) *ReadSeeker { return core.NewReadSeeker(f) }

@@ -1,0 +1,104 @@
+// Tests exercising the library strictly through the public API, the way a
+// downstream user would.
+package plfs_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/plfs"
+)
+
+func TestPublicContainerRoundTrip(t *testing.T) {
+	backend := plfs.NewMemBackend()
+	c, err := plfs.CreateContainer(backend, "/ckpt", plfs.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.OpenWriter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAt([]byte("public api"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !plfs.IsContainer(backend, "/ckpt") {
+		t.Fatal("IsContainer = false")
+	}
+	r, err := c.OpenReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 10)
+	if _, err := r.ReadAt(buf, 100); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "public api" {
+		t.Fatalf("read %q", buf)
+	}
+	// The first 100 bytes are a hole.
+	hole := make([]byte, 100)
+	if _, err := r.ReadAt(hole, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hole, make([]byte, 100)) {
+		t.Fatal("hole not zero-filled")
+	}
+}
+
+func TestPublicMount(t *testing.T) {
+	backend := plfs.NewMemBackend()
+	m, err := plfs.NewMount(backend, "/mnt/plfs", plfs.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("app.out", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("through the mount"), 0); err != nil {
+		t.Fatal(err)
+	}
+	rs := plfs.NewReadSeeker(f)
+	data, err := io.ReadAll(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "through the mount" {
+		t.Fatalf("ReadAll = %q", data)
+	}
+}
+
+func TestPublicIndexHelpers(t *testing.T) {
+	g := plfs.BuildGlobalIndex([]plfs.IndexEntry{
+		{LogicalOffset: 0, Length: 10, Writer: 1, LogOffset: 0, Timestamp: 1},
+		{LogicalOffset: 5, Length: 10, Writer: 2, LogOffset: 0, Timestamp: 2},
+	})
+	if g.Size() != 15 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	pieces := g.Lookup(0, 15)
+	if len(pieces) != 2 || pieces[1].Writer != 2 {
+		t.Fatalf("pieces = %+v", pieces)
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	backend := plfs.NewMemBackend()
+	if _, err := plfs.OpenContainer(backend, "/missing", plfs.DefaultOptions()); err == nil {
+		t.Fatal("open missing container should fail")
+	}
+	c, _ := plfs.CreateContainer(backend, "/c", plfs.DefaultOptions())
+	w, _ := c.OpenWriter(0)
+	w.Close()
+	if _, err := w.WriteAt([]byte("x"), 0); err != plfs.ErrClosed {
+		t.Fatalf("err = %v, want plfs.ErrClosed", err)
+	}
+}
