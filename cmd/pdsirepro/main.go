@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/hdf5sim"
 	"repro/internal/incast"
 	"repro/internal/mdindex"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/placement"
 	"repro/internal/pnfs"
@@ -77,8 +79,19 @@ var order = []string{
 	"prefetch", "trace", "pnfs", "fsva", "posix", "disc",
 }
 
+// probeReg and probeTr are the process-wide observability probe, non-nil
+// when -metrics / -trace are given. Simulation-backed experiments thread
+// them into their engines; successive experiments accumulate into the
+// same registry and trace.
+var (
+	probeReg *obs.Registry
+	probeTr  *obs.Tracer
+)
+
 func main() {
 	figs := flag.String("fig", "all", "comma-separated experiment ids, or 'all'")
+	metrics := flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
+	trace := flag.String("trace", "", "write a Chrome trace-event file (Perfetto/chrome://tracing) to this file")
 	flag.Parse()
 	var run []string
 	if *figs == "all" {
@@ -93,10 +106,41 @@ func main() {
 			run = append(run, f)
 		}
 	}
+	if *metrics != "" {
+		probeReg = obs.NewRegistry()
+	}
+	if *trace != "" {
+		probeTr = obs.NewTracer()
+	}
 	for _, f := range run {
 		experiments[f]()
 		fmt.Println()
 	}
+	if *metrics != "" {
+		if err := writeFile(*metrics, probeReg.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *trace != "" {
+		if err := writeFile(*trace, probeTr.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if e := f.Close(); err == nil {
+		err = e
+	}
+	return err
 }
 
 func header(title string) {
@@ -205,9 +249,20 @@ func fig8() {
 	fmt.Printf("%-14s %16s %16s %16s %10s\n",
 		"file system", "N-1 direct MB/s", "PLFS MB/s", "N-N MB/s", "speedup")
 	for _, cfg := range pfs.AllPresets(8) {
-		direct, viaPLFS, ratio := workload.Speedup(cfg, 32, 4<<20, 47008)
-		nn := workload.Run(cfg, workload.Spec{
-			Ranks: 32, BytesPerRank: 4 << 20, RecordSize: 47008, Pattern: workload.NN})
+		base := workload.Spec{Ranks: 32, BytesPerRank: 4 << 20, RecordSize: 47008, Pattern: workload.N1Strided}
+		direct := workload.RunProbed(cfg, base, probeReg, probeTr)
+		viaSpec := base
+		viaSpec.Pattern = workload.PLFSPattern
+		viaSpec.PLFSHostdirs = 32
+		viaSpec.PLFSIndexFlushEvery = 64
+		viaPLFS := workload.RunProbed(cfg, viaSpec, probeReg, probeTr)
+		nnSpec := base
+		nnSpec.Pattern = workload.NN
+		nn := workload.RunProbed(cfg, nnSpec, probeReg, probeTr)
+		var ratio float64
+		if direct.Bandwidth > 0 {
+			ratio = viaPLFS.Bandwidth / direct.Bandwidth
+		}
 		fmt.Printf("%-14s %16.1f %16.1f %16.1f %9.1fx\n",
 			cfg.Name, mb(direct.Bandwidth), mb(viaPLFS.Bandwidth), mb(nn.Bandwidth), ratio)
 	}
@@ -220,9 +275,9 @@ func fig9() {
 	header("Figure 9 — TCP incast: goodput vs number of synchronized senders")
 	counts := []int{1, 2, 4, 8, 16, 32, 48, 64}
 	fmt.Printf("%8s %20s %20s %22s\n", "senders", "200ms RTO (Mbps)", "1ms RTO (Mbps)", "1ms+random (Mbps)")
-	slow := incast.Sweep(counts, nil)
-	fast := incast.Sweep(counts, func(p *incast.Params) { p.MinRTO = 1e-3 })
-	rnd := incast.Sweep(counts, func(p *incast.Params) { p.MinRTO = 1e-3; p.RTORandomize = true })
+	slow := incast.SweepProbed(counts, nil, probeReg, probeTr)
+	fast := incast.SweepProbed(counts, func(p *incast.Params) { p.MinRTO = 1e-3 }, probeReg, probeTr)
+	rnd := incast.SweepProbed(counts, func(p *incast.Params) { p.MinRTO = 1e-3; p.RTORandomize = true }, probeReg, probeTr)
 	for i, n := range counts {
 		fmt.Printf("%8d %20.1f %20.1f %22.1f\n",
 			n, slow[i].GoodputBps*8/1e6, fast[i].GoodputBps*8/1e6, rnd[i].GoodputBps*8/1e6)
@@ -398,11 +453,11 @@ func figRestart() {
 		Ranks: 16, BytesPerRank: 4 << 20, RecordSize: 47008,
 		Pattern: workload.PLFSPattern, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
 	}
-	uni := workload.RunRestart(cfg, spec, workload.UniformRestart)
-	sh := workload.RunRestart(cfg, spec, workload.ShiftedRestart)
-	direct := workload.RunRestart(cfg, workload.Spec{
+	uni := workload.RunRestartProbed(cfg, spec, workload.UniformRestart, probeReg, probeTr)
+	sh := workload.RunRestartProbed(cfg, spec, workload.ShiftedRestart, probeReg, probeTr)
+	direct := workload.RunRestartProbed(cfg, workload.Spec{
 		Ranks: 16, BytesPerRank: 4 << 20, RecordSize: 47008, Pattern: workload.N1Strided,
-	}, workload.UniformRestart)
+	}, workload.UniformRestart, probeReg, probeTr)
 	fmt.Printf("%-34s %12s %14s\n", "scenario", "time (s)", "MB/s moved")
 	fmt.Printf("%-34s %12.2f %14.1f\n", "PLFS write + uniform restart", float64(uni.Elapsed), mb(uni.Bandwidth))
 	fmt.Printf("%-34s %12.2f %14.1f\n", "PLFS write + shifted restart", float64(sh.Elapsed), mb(sh.Bandwidth))

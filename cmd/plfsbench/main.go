@@ -14,9 +14,41 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/workload"
 )
+
+// writeObs dumps the metrics snapshot and trace to the named files (empty
+// names skip). Exits non-zero on I/O errors so CI catches them.
+func writeObs(reg *obs.Registry, tr *obs.Tracer, metricsPath, tracePath string) {
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err == nil {
+			err = reg.WriteJSON(f)
+			if e := f.Close(); err == nil {
+				err = e
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err == nil {
+			err = tr.WriteJSON(f)
+			if e := f.Close(); err == nil {
+				err = e
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
 
 func fsConfig(name string, servers int) (pfs.Config, bool) {
 	switch name {
@@ -53,6 +85,8 @@ func main() {
 		record  = flag.Int64("record", 47008, "application record size in bytes")
 		pat     = flag.String("pattern", "n1", "pattern: n1, segmented, nn, plfs")
 		sweep   = flag.Bool("sweep", false, "sweep ranks {8,16,32,64,128} across all patterns")
+		metrics = flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
+		trace   = flag.String("trace", "", "write a Chrome trace-event file (Perfetto/chrome://tracing) to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +96,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
+	if *trace != "" {
+		tr = obs.NewTracer()
+	}
+	defer writeObs(reg, tr, *metrics, *trace)
+
 	if *sweep {
 		fmt.Printf("sweep on %s (%d servers), %d MiB/rank, %d B records\n",
 			cfg.Name, *servers, *mbEach, *record)
@@ -69,10 +113,10 @@ func main() {
 		for _, r := range []int{8, 16, 32, 64, 128} {
 			row := []float64{}
 			for _, p := range []workload.Pattern{workload.N1Strided, workload.N1Segmented, workload.NN, workload.PLFSPattern} {
-				res := workload.Run(cfg, workload.Spec{
+				res := workload.RunProbed(cfg, workload.Spec{
 					Ranks: r, BytesPerRank: *mbEach << 20, RecordSize: *record,
 					Pattern: p, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
-				})
+				}, reg, tr)
 				row = append(row, res.Bandwidth/1e6)
 			}
 			fmt.Printf("%8d %16.1f %16.1f %16.1f %16.1f\n", r, row[0], row[1], row[2], row[3])
@@ -85,10 +129,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -pattern %q\n", *pat)
 		os.Exit(2)
 	}
-	res := workload.Run(cfg, workload.Spec{
+	res := workload.RunProbed(cfg, workload.Spec{
 		Ranks: *ranks, BytesPerRank: *mbEach << 20, RecordSize: *record,
 		Pattern: p, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
-	})
+	}, reg, tr)
 	fmt.Printf("file system:   %s (%d servers)\n", cfg.Name, *servers)
 	fmt.Printf("pattern:       %s\n", p)
 	fmt.Printf("ranks:         %d x %d MiB (records of %d B)\n", *ranks, *mbEach, *record)

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Container names within a PLFS container directory.
@@ -26,6 +28,12 @@ type Options struct {
 	// entries at write time, shrinking the index logs (an ablation of the
 	// follow-on index-compression work).
 	CoalesceIndex bool
+
+	// Metrics, when non-nil, receives the container's counters (writes,
+	// index entries, merge sizes, read-resolution fan-out) under the
+	// "plfs." prefix. Nil disables instrumentation at the cost of one
+	// branch per probe site.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions matches the PLFS defaults: 32 hostdirs, no write-time
@@ -50,6 +58,35 @@ type Container struct {
 
 	mu      sync.Mutex
 	writers map[int32]*Writer
+
+	// Instrument handles (nil without Options.Metrics).
+	cWrites        *obs.Counter
+	cBytesData     *obs.Counter
+	cIndexEntries  *obs.Counter
+	cReads         *obs.Counter
+	cMerges        *obs.Counter
+	cMergedEntries *obs.Counter
+	cMergedExtents *obs.Counter
+	hReadFanout    *obs.Histogram
+}
+
+// instrument wires the container's probe handles from Options.Metrics.
+// Counter names are container-independent so that a run over many
+// containers aggregates naturally.
+func (c *Container) instrument() *Container {
+	reg := c.opts.Metrics
+	if reg == nil {
+		return c
+	}
+	c.cWrites = reg.Counter("plfs.writes")
+	c.cBytesData = reg.Counter("plfs.bytes_data")
+	c.cIndexEntries = reg.Counter("plfs.index.entries")
+	c.cReads = reg.Counter("plfs.reads")
+	c.cMerges = reg.Counter("plfs.index.merges")
+	c.cMergedEntries = reg.Counter("plfs.index.entries_merged")
+	c.cMergedExtents = reg.Counter("plfs.index.extents_resolved")
+	c.hReadFanout = reg.Histogram("plfs.read.fanout", obs.CountBuckets())
+	return c
 }
 
 // CreateContainer makes a new container directory tree on the backend.
@@ -81,7 +118,8 @@ func CreateContainer(b Backend, path string, opts Options) (*Container, error) {
 	if err := f.Close(); err != nil {
 		return nil, err
 	}
-	return &Container{backend: b, path: path, opts: opts, writers: make(map[int32]*Writer)}, nil
+	c := &Container{backend: b, path: path, opts: opts, writers: make(map[int32]*Writer)}
+	return c.instrument(), nil
 }
 
 // OpenContainer opens an existing container.
@@ -92,7 +130,8 @@ func OpenContainer(b Backend, path string, opts Options) (*Container, error) {
 	if !b.Exists(path + "/" + accessFile) {
 		return nil, fmt.Errorf("%w: %s is not a PLFS container", ErrNotExist, path)
 	}
-	return &Container{backend: b, path: path, opts: opts, writers: make(map[int32]*Writer)}, nil
+	c := &Container{backend: b, path: path, opts: opts, writers: make(map[int32]*Writer)}
+	return c.instrument(), nil
 }
 
 // IsContainer reports whether path holds a PLFS container.
@@ -188,6 +227,8 @@ func (w *Writer) WriteAt(buf []byte, off int64) (int, error) {
 	w.dataOff += int64(len(buf))
 	w.nWrites++
 	w.bytesData += int64(len(buf))
+	w.c.cWrites.Inc()
+	w.c.cBytesData.Add(int64(len(buf)))
 
 	if w.c.opts.CoalesceIndex {
 		if p := w.pending; p != nil &&
@@ -214,6 +255,7 @@ func (w *Writer) appendEntryLocked(e IndexEntry) error {
 		return err
 	}
 	w.nEntries++
+	w.c.cIndexEntries.Inc()
 	return nil
 }
 
@@ -312,7 +354,13 @@ func (c *Container) OpenReader() (*Reader, error) {
 			data[id] = df
 		}
 	}
-	return &Reader{c: c, index: BuildGlobalIndex(entries), data: data}, nil
+	gi := BuildGlobalIndex(entries)
+	// Index-merge cost: raw entries in vs resolved extents out. The ratio
+	// measures fragmentation, the driver of read-back index size.
+	c.cMerges.Inc()
+	c.cMergedEntries.Add(int64(gi.NumEntries()))
+	c.cMergedExtents.Add(int64(gi.NumExtents()))
+	return &Reader{c: c, index: gi, data: data}, nil
 }
 
 // Size returns the logical file size.
@@ -337,7 +385,12 @@ func (r *Reader) ReadAt(buf []byte, off int64) (int, error) {
 	if n > avail {
 		n = avail
 	}
-	for _, p := range r.index.Lookup(off, n) {
+	pieces := r.index.Lookup(off, n)
+	// Read-resolution fan-out: how many log pieces one logical read
+	// touches — 1 for a uniform restart, many for shifted reads.
+	r.c.cReads.Inc()
+	r.c.hReadFanout.Observe(float64(len(pieces)))
+	for _, p := range pieces {
 		dst := buf[p.Logical-off : p.Logical-off+p.Length]
 		if p.Writer < 0 {
 			for i := range dst {

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestContainerMetricsPopulate(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := DefaultOptions()
+	opts.Metrics = reg
+	b := NewMemBackend()
+	c, err := CreateContainer(b, "/ckpt", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two writers lay down interleaved records so the read path must fan
+	// out across both data logs.
+	const rec = 1024
+	for id := int32(0); id < 2; id++ {
+		w, err := c.OpenWriter(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, rec)
+		for i := range buf {
+			buf[i] = byte(id + 1)
+		}
+		for k := 0; k < 4; k++ {
+			off := int64(k*2+int(id)) * rec
+			if _, err := w.WriteAt(buf, off); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := c.OpenReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// One read spanning the whole file crosses every record boundary.
+	got := make([]byte, 8*rec)
+	if _, err := r.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["plfs.writes"]; got != 8 {
+		t.Errorf("plfs.writes = %d, want 8", got)
+	}
+	if got := s.Counters["plfs.bytes_data"]; got != 8*rec {
+		t.Errorf("plfs.bytes_data = %d, want %d", got, 8*rec)
+	}
+	if got := s.Counters["plfs.index.entries"]; got != 8 {
+		t.Errorf("plfs.index.entries = %d, want 8", got)
+	}
+	if got := s.Counters["plfs.index.merges"]; got != 1 {
+		t.Errorf("plfs.index.merges = %d, want 1", got)
+	}
+	if got := s.Counters["plfs.index.entries_merged"]; got <= 0 {
+		t.Errorf("plfs.index.entries_merged = %d, want > 0", got)
+	}
+	if got := s.Counters["plfs.reads"]; got != 1 {
+		t.Errorf("plfs.reads = %d, want 1", got)
+	}
+	h, ok := s.Histograms["plfs.read.fanout"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("read fanout histogram = %+v", h)
+	}
+	// The spanning read resolves through all 8 interleaved extents.
+	if h.Sum != 8 {
+		t.Errorf("read fanout = %v extents, want 8", h.Sum)
+	}
+}
+
+func TestContainerWithoutMetricsStillWorks(t *testing.T) {
+	// Options.Metrics nil: every probe is a nil no-op.
+	_, c := newContainer(t, DefaultOptions())
+	w, err := c.OpenWriter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.OpenReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := make([]byte, 1)
+	if _, err := r.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if got[0] != 'x' {
+		t.Fatalf("read %q", got)
+	}
+}

@@ -74,6 +74,25 @@ type Disk struct {
 
 	// headPos is the byte offset the head is parked after the last I/O.
 	headPos int64
+
+	stats Stats
+}
+
+// Stats decomposes accumulated service time into its mechanical parts.
+// The seek/rotation vs transfer split is the single most diagnostic
+// number in the simulator: a workload whose positioning time dominates
+// its transfer time is the pathology PLFS exists to remove.
+type Stats struct {
+	// Accesses counts I/Os; Positioned counts the subset that paid a seek
+	// plus rotational latency (i.e. were not sequential with the previous
+	// I/O).
+	Accesses   int64
+	Positioned int64
+
+	// SeekSec, RotationSec, and TransferSec partition total service time.
+	SeekSec     float64
+	RotationSec float64
+	TransferSec float64
 }
 
 // New returns a Disk with the head at offset 0.
@@ -106,12 +125,22 @@ func (d *Disk) Access(offset, size int64) sim.Time {
 	}
 	var position float64
 	if offset != d.headPos {
-		position = d.seekTime(d.headPos, offset) + d.Geom.AvgRotation()
+		seek := d.seekTime(d.headPos, offset)
+		rot := d.Geom.AvgRotation()
+		position = seek + rot
+		d.stats.Positioned++
+		d.stats.SeekSec += seek
+		d.stats.RotationSec += rot
 	}
 	transfer := float64(size) / d.Geom.SeqBandwidth
+	d.stats.Accesses++
+	d.stats.TransferSec += transfer
 	d.headPos = offset + size
 	return sim.Time(position + transfer)
 }
+
+// Stats returns the accumulated service-time decomposition.
+func (d *Disk) Stats() Stats { return d.stats }
 
 // SeqTime returns the pure streaming time for size bytes, ignoring head
 // state (a convenience for back-of-envelope comparisons).

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -114,11 +115,20 @@ type experiment struct {
 	doneCnt  int
 	round    int
 
+	roundStart sim.Time
+
 	res Result
 }
 
 // Run executes the experiment and returns aggregate goodput.
 func Run(p Params) Result {
+	return RunProbed(p, nil, nil)
+}
+
+// RunProbed is Run with a metrics registry and tracer attached (either
+// may be nil). Rounds appear as spans on the "incast" category; drop,
+// timeout, and retransmit totals accumulate as counters.
+func RunProbed(p Params, reg *obs.Registry, tr *obs.Tracer) Result {
 	if err := p.validate(); err != nil {
 		panic(err)
 	}
@@ -127,6 +137,7 @@ func Run(p Params) Result {
 		eng: sim.NewEngine(),
 		rng: rand.New(rand.NewSource(p.Seed)),
 	}
+	e.eng.Instrument(reg, tr)
 	e.res.Params = p
 	e.startRound()
 	e.eng.Run()
@@ -135,6 +146,10 @@ func Run(p Params) Result {
 	if e.res.Elapsed > 0 {
 		e.res.GoodputBps = total / float64(e.res.Elapsed)
 	}
+	reg.Counter("incast.timeouts").Add(int64(e.res.Timeouts))
+	reg.Counter("incast.drops").Add(int64(e.res.Drops))
+	reg.Counter("incast.retransmits").Add(int64(e.res.Retransmits))
+	reg.Counter("incast.rounds").Add(int64(p.Rounds))
 	return e.res
 }
 
@@ -150,6 +165,7 @@ func (e *experiment) startRound() {
 	e.senders = e.senders[:0]
 	e.received = e.received[:0]
 	e.doneCnt = 0
+	e.roundStart = e.eng.Now()
 	n := e.packetsPerSRU()
 	for i := 0; i < e.p.Senders; i++ {
 		s := &sender{id: i, total: n, cwnd: 2, ssthresh: initialSsthresh}
@@ -336,6 +352,8 @@ func (e *experiment) finish(s *sender) {
 	e.disarmTimer(s)
 	e.doneCnt++
 	if e.doneCnt == e.p.Senders {
+		e.eng.Tracer().Span("incast", fmt.Sprintf("round %d", e.round),
+			int64(e.p.Senders), float64(e.roundStart), float64(e.eng.Now()), nil)
 		e.round++
 		if e.round < e.p.Rounds {
 			e.startRound()
@@ -346,13 +364,19 @@ func (e *experiment) finish(s *sender) {
 // Sweep runs the experiment across sender counts and returns goodput per
 // point — the Figure 9 curves.
 func Sweep(counts []int, mutate func(*Params)) []Result {
+	return SweepProbed(counts, mutate, nil, nil)
+}
+
+// SweepProbed is Sweep with a metrics registry and tracer attached
+// (either may be nil); the points accumulate into the same registry.
+func SweepProbed(counts []int, mutate func(*Params), reg *obs.Registry, tr *obs.Tracer) []Result {
 	out := make([]Result, 0, len(counts))
 	for _, n := range counts {
 		p := DefaultParams(n)
 		if mutate != nil {
 			mutate(&p)
 		}
-		out = append(out, Run(p))
+		out = append(out, RunProbed(p, reg, tr))
 	}
 	return out
 }

@@ -47,9 +47,11 @@ func parentDir(name string) string {
 func (c *Client) Create(name string, done func(*File)) {
 	fs := c.fs
 	dir := parentDir(name)
+	done = c.traceSpan("pfs.meta", "create", done)
 	fs.acquireDir(dir, c.id, func() {
 		fs.mds.Submit(fs.Cfg.MetadataOp, func(sim.Time) {
 			fs.metadataOps++
+			fs.cMeta.Inc()
 			st, ok := fs.files[name]
 			if !ok {
 				st = &fileState{id: fs.nextID, name: name}
@@ -69,8 +71,10 @@ func (c *Client) Create(name string, done func(*File)) {
 // keeps workload code simple) after a metadata round trip.
 func (c *Client) Open(name string, done func(*File)) {
 	fs := c.fs
+	done = c.traceSpan("pfs.meta", "open", done)
 	fs.mds.Submit(fs.Cfg.MetadataOp, func(sim.Time) {
 		fs.metadataOps++
+		fs.cMeta.Inc()
 		st, ok := fs.files[name]
 		if !ok {
 			st = &fileState{id: fs.nextID, name: name}
@@ -81,6 +85,44 @@ func (c *Client) Open(name string, done func(*File)) {
 			done(&File{fs: fs, st: st})
 		}
 	})
+}
+
+// traceSpan wraps a metadata completion callback in a tracer span from
+// now until the callback fires; lanes (tid) are client ids. Returns done
+// unchanged when tracing is off, so the disabled path allocates nothing.
+func (c *Client) traceSpan(cat, name string, done func(*File)) func(*File) {
+	tr := c.fs.eng.Tracer()
+	if !tr.Enabled() {
+		return done
+	}
+	eng := c.fs.eng
+	start := float64(eng.Now())
+	tid := int64(c.id)
+	return func(f *File) {
+		tr.Span(cat, name, tid, start, float64(eng.Now()), nil)
+		if done != nil {
+			done(f)
+		}
+	}
+}
+
+// traceIOSpan is traceSpan for data-path completions, annotated with the
+// logical offset and size.
+func (c *Client) traceIOSpan(name string, off, size int64, done func()) func() {
+	tr := c.fs.eng.Tracer()
+	if !tr.Enabled() {
+		return done
+	}
+	eng := c.fs.eng
+	start := float64(eng.Now())
+	tid := int64(c.id)
+	return func() {
+		tr.Span("pfs", name, tid, start, float64(eng.Now()),
+			map[string]any{"off": off, "size": size})
+		if done != nil {
+			done()
+		}
+	}
 }
 
 // subOp is one stripe-unit-granular piece of a client write or read.
@@ -118,6 +160,7 @@ func (c *Client) Write(f *File, off, size int64, done func()) {
 		return
 	}
 	fs := c.fs
+	done = c.traceIOSpan("write", off, size, done)
 	pieces := split(off, size, fs.Cfg.StripeUnit)
 	barrier := sim.NewBarrier(fs.eng, len(pieces), func(sim.Time) {
 		if end := off + size; end > f.st.size {
@@ -177,10 +220,14 @@ func (s *server) write(fs *FS, st *fileState, p subOp, done func()) {
 		// Partial overwrite of an existing unit: read it, modify, write it
 		// back — two unit-sized disk ops.
 		svc = s.dsk.Access(diskOff, fs.Cfg.StripeUnit) + s.dsk.Access(diskOff, fs.Cfg.StripeUnit)
+		fs.cRMW.Inc()
+		s.cRMW.Inc()
 	} else {
 		svc = s.dsk.Access(diskOff+p.offIn, p.size)
 	}
 	s.bytesWritten += p.size
+	s.cOps.Inc()
+	s.cBytesW.Add(p.size)
 	s.dq.Submit(svc, func(sim.Time) { done() })
 }
 
@@ -194,6 +241,7 @@ func (c *Client) Read(f *File, off, size int64, done func()) {
 		return
 	}
 	fs := c.fs
+	done = c.traceIOSpan("read", off, size, done)
 	pieces := split(off, size, fs.Cfg.StripeUnit)
 	barrier := sim.NewBarrier(fs.eng, len(pieces), func(sim.Time) {
 		if done != nil {
@@ -223,6 +271,8 @@ func (s *server) read(fs *FS, st *fileState, p subOp, done func()) {
 	}
 	svc := s.dsk.Access(diskOff+p.offIn, p.size)
 	s.bytesRead += p.size
+	s.cOps.Inc()
+	s.cBytesR.Add(p.size)
 	s.dq.Submit(svc, func(sim.Time) {
 		s.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) { done() })
 	})

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -172,6 +173,12 @@ type server struct {
 
 	bytesWritten int64
 	bytesRead    int64
+
+	// Per-OSS instrument handles (nil when uninstrumented).
+	cOps    *obs.Counter
+	cBytesW *obs.Counter
+	cBytesR *obs.Counter
+	cRMW    *obs.Counter
 }
 
 // FS is a simulated parallel file system instance bound to a sim.Engine.
@@ -193,6 +200,13 @@ type FS struct {
 
 	metadataOps int64
 	lockRevokes int64
+
+	// File-system-wide instrument handles (nil when uninstrumented).
+	cMeta      *obs.Counter
+	cRevokes   *obs.Counter
+	cLockWaits *obs.Counter
+	cRMW       *obs.Counter
+	hLockWait  *obs.Histogram
 }
 
 // stripeLock is a FIFO mutex with an ownership-transfer penalty.
@@ -205,6 +219,7 @@ type stripeLock struct {
 type lockWaiter struct {
 	client int
 	fn     func()
+	since  sim.Time // when the waiter queued, for contention histograms
 }
 
 // New creates a file system on the given engine.
@@ -232,7 +247,44 @@ func New(eng *sim.Engine, cfg Config) *FS {
 			extent: make(map[stripeKey]int64),
 		})
 	}
+	fs.instrument()
 	return fs
+}
+
+// instrument registers the file system's probes in the engine's metrics
+// registry. A no-op (leaving all handles nil) when the engine is
+// uninstrumented.
+func (fs *FS) instrument() {
+	reg := fs.eng.Metrics()
+	if reg == nil {
+		return
+	}
+	fs.mds.Instrument("pfs.mds")
+	fs.cMeta = reg.Counter("pfs.metadata_ops")
+	fs.cRevokes = reg.Counter("pfs.lock.revokes")
+	fs.cLockWaits = reg.Counter("pfs.lock.waits")
+	fs.cRMW = reg.Counter("pfs.rmw_ops")
+	fs.hLockWait = reg.Histogram("pfs.lock.wait_s", obs.TimeBuckets())
+	for i, s := range fs.servers {
+		name := fmt.Sprintf("pfs.oss%02d", i)
+		s.nic.Instrument(name + ".nic")
+		s.dq.Instrument(name + ".disk")
+		s.cOps = reg.Counter(name + ".ops")
+		s.cBytesW = reg.Counter(name + ".bytes_written")
+		s.cBytesR = reg.Counter(name + ".bytes_read")
+		s.cRMW = reg.Counter(name + ".rmw_ops")
+		d := s.dsk
+		reg.GaugeFunc(name+".disk.seek_s", func() float64 { return d.Stats().SeekSec })
+		reg.GaugeFunc(name+".disk.rotation_s", func() float64 { return d.Stats().RotationSec })
+		reg.GaugeFunc(name+".disk.transfer_s", func() float64 { return d.Stats().TransferSec })
+		reg.GaugeFunc(name+".disk.positioned_frac", func() float64 {
+			st := d.Stats()
+			if st.Accesses == 0 {
+				return 0
+			}
+			return float64(st.Positioned) / float64(st.Accesses)
+		})
+	}
 }
 
 // Engine returns the engine the file system is bound to.
@@ -263,7 +315,8 @@ func (fs *FS) acquire(key stripeKey, client int, fn func()) {
 		fs.locks[key] = lk
 	}
 	if lk.held {
-		lk.waiters = append(lk.waiters, lockWaiter{client: client, fn: fn})
+		fs.cLockWaits.Inc()
+		lk.waiters = append(lk.waiters, lockWaiter{client: client, fn: fn, since: fs.eng.Now()})
 		return
 	}
 	lk.held = true
@@ -275,6 +328,7 @@ func (fs *FS) grant(lk *stripeLock, client int, fn func()) {
 	if lk.owner != -1 && lk.owner != client {
 		delay = fs.Cfg.LockRevoke
 		fs.lockRevokes++
+		fs.cRevokes.Inc()
 	}
 	lk.owner = client
 	if delay > 0 {
@@ -329,6 +383,7 @@ func (fs *FS) release(key stripeKey) {
 	next := lk.waiters[0]
 	copy(lk.waiters, lk.waiters[1:])
 	lk.waiters = lk.waiters[:len(lk.waiters)-1]
+	fs.hLockWait.Observe(float64(fs.eng.Now() - next.since))
 	fs.grant(lk, next.client, next.fn)
 }
 

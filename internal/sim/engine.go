@@ -15,6 +15,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Time is simulated time in seconds. Using a float64 keeps device models
@@ -80,10 +82,42 @@ type Engine struct {
 	seq    uint64
 	queue  eventQueue
 	nsteps uint64
+	live   int // scheduled, not yet dispatched or cancelled
+	depth  int // high-water mark of queue length
+
+	// Observability. Both are nil until Instrument is called; every probe
+	// site is nil-safe, so an uninstrumented engine pays one branch.
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+
+	cDispatched *obs.Counter
+	cScheduled  *obs.Counter
+	cCancelled  *obs.Counter
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
+
+// Instrument attaches a metrics registry and/or tracer (either may be
+// nil). Resources created afterwards (Servers, file systems) pick the
+// probe up from the engine, so call this before building the model.
+func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	e.metrics = reg
+	e.tracer = tr
+	e.cDispatched = reg.Counter("sim.events_dispatched")
+	e.cScheduled = reg.Counter("sim.events_scheduled")
+	e.cCancelled = reg.Counter("sim.events_cancelled")
+	reg.GaugeFunc("sim.queue_depth_max", func() float64 { return float64(e.depth) })
+	reg.GaugeFunc("sim.pending", func() float64 { return float64(e.live) })
+	reg.GaugeFunc("sim.now_s", func() float64 { return float64(e.now) })
+}
+
+// Metrics returns the attached registry (nil when uninstrumented). A nil
+// registry hands out nil instruments, which are valid no-ops.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// Tracer returns the attached tracer (nil when uninstrumented).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -108,14 +142,21 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	ev := &event{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	e.live++
+	if len(e.queue) > e.depth {
+		e.depth = len(e.queue)
+	}
+	e.cScheduled.Inc()
 	return EventID{ev}
 }
 
 // Cancel disarms a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (e *Engine) Cancel(id EventID) {
-	if id.e != nil {
+	if id.e != nil && !id.e.dead {
 		id.e.dead = true
+		e.live--
+		e.cCancelled.Inc()
 	}
 }
 
@@ -139,8 +180,13 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		if next.dead {
 			continue
 		}
+		// Marking the event dead here makes a late Cancel of a fired event
+		// a no-op and keeps the live count exact.
+		next.dead = true
+		e.live--
 		e.now = next.at
 		e.nsteps++
+		e.cDispatched.Inc()
 		next.fn()
 	}
 	if deadline < Infinity && deadline > e.now {
@@ -149,13 +195,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
-// Pending reports the number of live events still queued.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live events still queued. It is O(1):
+// the engine maintains a live-event count decremented on cancel and
+// dispatch instead of scanning the heap.
+func (e *Engine) Pending() int { return e.live }

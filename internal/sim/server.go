@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/obs"
+
 // Server models a resource that serves requests one (or k) at a time in
 // FIFO order with caller-supplied service times: a disk arm, a metadata
 // server CPU, a network link. It is the workhorse queueing primitive used
@@ -14,11 +16,18 @@ type Server struct {
 	busySince  Time
 	busyTotal  Time
 	served     uint64
+	started    uint64
 	waitedTime Time
+
+	// Optional instrumentation (nil unless Instrument is called on an
+	// engine with a registry attached).
+	hWait    *obs.Histogram
+	hService *obs.Histogram
 }
 
 type request struct {
 	service Time
+	arrived Time
 	done    func(Time)
 }
 
@@ -30,10 +39,25 @@ func NewServer(eng *Engine, capacity int) *Server {
 	return &Server{eng: eng, cap: capacity}
 }
 
+// Instrument registers this server's wait/service histograms and
+// utilization gauge under the given name prefix in the engine's metrics
+// registry. A no-op when the engine is uninstrumented.
+func (s *Server) Instrument(name string) {
+	reg := s.eng.Metrics()
+	if reg == nil {
+		return
+	}
+	s.hWait = reg.Histogram(name+".wait_s", obs.TimeBuckets())
+	s.hService = reg.Histogram(name+".service_s", obs.TimeBuckets())
+	reg.GaugeFunc(name+".utilization", s.Utilization)
+	reg.GaugeFunc(name+".served", func() float64 { return float64(s.served) })
+	reg.GaugeFunc(name+".mean_wait_s", func() float64 { return float64(s.MeanWait()) })
+}
+
 // Submit enqueues a request requiring the given service time; done (if
 // non-nil) is invoked at completion with the completion timestamp.
 func (s *Server) Submit(service Time, done func(Time)) {
-	r := &request{service: service, done: done}
+	r := &request{service: service, arrived: s.eng.Now(), done: done}
 	if s.busy < s.cap {
 		s.start(r, s.eng.Now())
 		return
@@ -41,7 +65,13 @@ func (s *Server) Submit(service Time, done func(Time)) {
 	s.waiting = append(s.waiting, r)
 }
 
+// start dequeues r into service at time at, recording the queue wait it
+// accumulated (zero for requests that found a free slot immediately).
 func (s *Server) start(r *request, at Time) {
+	s.waitedTime += at - r.arrived
+	s.started++
+	s.hWait.Observe(float64(at - r.arrived))
+	s.hService.Observe(float64(r.service))
 	if s.busy == 0 {
 		s.busySince = at
 	}
@@ -71,6 +101,19 @@ func (s *Server) QueueLen() int { return len(s.waiting) }
 
 // Served reports the number of completed requests.
 func (s *Server) Served() uint64 { return s.served }
+
+// WaitedTime reports the total queue wait accumulated by requests that
+// have entered service.
+func (s *Server) WaitedTime() Time { return s.waitedTime }
+
+// MeanWait reports the mean queue wait over all requests that have
+// entered service (requests that started immediately contribute zero).
+func (s *Server) MeanWait() Time {
+	if s.started == 0 {
+		return 0
+	}
+	return s.waitedTime / Time(s.started)
+}
 
 // BusyTime reports accumulated time with at least one request in service.
 func (s *Server) BusyTime() Time {

@@ -9,6 +9,7 @@ package workload
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/sim"
 )
@@ -230,7 +231,17 @@ type Program struct {
 // runs its op sequence, and Elapsed covers the write phase. TotalBytes
 // sums op sizes.
 func RunPrograms(cfg pfs.Config, progs []Program) Result {
+	return RunProgramsProbed(cfg, progs, nil, nil)
+}
+
+// RunProgramsProbed is RunPrograms with an observability probe: the
+// metrics registry and tracer (either may be nil) are attached to the
+// engine before the model is built, so every substrate's instruments
+// land in them. Runs are deterministic, so two probed runs of the same
+// programs produce byte-identical metrics snapshots.
+func RunProgramsProbed(cfg pfs.Config, progs []Program, reg *obs.Registry, tr *obs.Tracer) Result {
 	eng := sim.NewEngine()
+	eng.Instrument(reg, tr)
 	fs := pfs.New(eng, cfg)
 
 	clients := make([]*pfs.Client, len(progs))
@@ -319,6 +330,12 @@ func RunPrograms(cfg pfs.Config, progs []Program) Result {
 // files (the shared-file patterns create once), barrier, all ranks issue
 // their ops synchronously (each rank waits for its previous op), barrier.
 func Run(cfg pfs.Config, spec Spec) Result {
+	return RunProbed(cfg, spec, nil, nil)
+}
+
+// RunProbed is Run with a metrics registry and tracer attached (either
+// may be nil).
+func RunProbed(cfg pfs.Config, spec Spec, reg *obs.Registry, tr *obs.Tracer) Result {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
@@ -326,7 +343,7 @@ func Run(cfg pfs.Config, spec Spec) Result {
 	for r := 0; r < spec.Ranks; r++ {
 		progs[r] = Program{Creates: filesFor(spec, r), Ops: rankOps(spec, cfg.StripeUnit, r)}
 	}
-	result := RunPrograms(cfg, progs)
+	result := RunProgramsProbed(cfg, progs, reg, tr)
 	result.Spec = spec
 	// Per-spec accounting: payload is BytesPerRank per rank (PLFS ops also
 	// include index bytes; report payload).

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
@@ -86,10 +87,16 @@ func restartPrograms(spec Spec, unit int64, kind RestartKind) []Program {
 // RunRestart measures the combined write+read phase and returns the
 // result; Bandwidth covers the full data volume moved (written + read).
 func RunRestart(cfg pfs.Config, spec Spec, kind RestartKind) Result {
+	return RunRestartProbed(cfg, spec, kind, nil, nil)
+}
+
+// RunRestartProbed is RunRestart with a metrics registry and tracer
+// attached (either may be nil).
+func RunRestartProbed(cfg pfs.Config, spec Spec, kind RestartKind, reg *obs.Registry, tr *obs.Tracer) Result {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	res := RunPrograms(cfg, restartPrograms(spec, cfg.StripeUnit, kind))
+	res := RunProgramsProbed(cfg, restartPrograms(spec, cfg.StripeUnit, kind), reg, tr)
 	res.Spec = spec
 	return res
 }
