@@ -1,19 +1,26 @@
 // Command plfsbench measures checkpoint bandwidth for a chosen access
 // pattern on a simulated parallel file system, with or without PLFS
-// interposition.
+// interposition, and (with -indexbench) wall-clock timings for the PLFS
+// global-index build — the read-back cost the write path defers.
 //
 // Examples:
 //
 //	plfsbench -fs lustre -servers 8 -ranks 64 -mb 4 -record 47008
 //	plfsbench -fs panfs -pattern nn
 //	plfsbench -sweep          # rank sweep comparing all patterns
+//	plfsbench -indexbench -entries 1048576 -writers 64
+//	plfsbench -sweep -json BENCH_plfs.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/workload"
@@ -62,6 +69,129 @@ func fsConfig(name string, servers int) (pfs.Config, bool) {
 	return pfs.Config{}, false
 }
 
+// patternResult is one simulated-checkpoint data point in -json output.
+type patternResult struct {
+	FS            string  `json:"fs"`
+	Pattern       string  `json:"pattern"`
+	Ranks         int     `json:"ranks"`
+	MBPerRank     int64   `json:"mb_per_rank"`
+	RecordBytes   int64   `json:"record_bytes"`
+	BandwidthMBps float64 `json:"bandwidth_mbps"`
+	ElapsedSimSec float64 `json:"elapsed_sim_sec"`
+	MetadataOps   int64   `json:"metadata_ops"`
+}
+
+// indexBenchResult is the -indexbench data point: wall-clock cost of
+// turning per-writer index logs back into one global index.
+type indexBenchResult struct {
+	Entries        int     `json:"entries"`
+	Writers        int     `json:"writers"`
+	Hostdirs       int     `json:"hostdirs"`
+	IngestWorkers  int     `json:"ingest_workers"`
+	Extents        int     `json:"extents"`
+	OpenSec        float64 `json:"open_sec"`
+	MergeSec       float64 `json:"merge_sec"`
+	OpenEntriesPS  float64 `json:"open_entries_per_sec"`
+	MergeEntriesPS float64 `json:"merge_entries_per_sec"`
+}
+
+// benchJSON is the machine-readable result file (-json) future PRs diff as
+// a BENCH_plfs.json trajectory.
+type benchJSON struct {
+	Results    []patternResult   `json:"results,omitempty"`
+	IndexBench *indexBenchResult `json:"index_bench,omitempty"`
+}
+
+func writeJSONFile(path string, v any) {
+	if path == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err == nil {
+		buf = append(buf, '\n')
+		err = os.WriteFile(path, buf, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runIndexBench builds an N-1 strided container with small records, then
+// times (a) the full OpenReader — parallel hostdir ingest plus the
+// sweep-line merge — and (b) the merge alone on an identical entry set.
+func runIndexBench(entries, writers, ingestWorkers int, reg *obs.Registry) indexBenchResult {
+	const rec = 8
+	backend := core.NewMemBackend()
+	opts := core.Options{NumHostdirs: 32, IngestWorkers: ingestWorkers, Metrics: reg}
+	c, err := core.CreateContainer(backend, "/bench", opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "indexbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf := make([]byte, rec)
+	perWriter := entries / writers
+	for w := 0; w < writers; w++ {
+		wr, err := c.OpenWriter(int32(w))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "indexbench: %v\n", err)
+			os.Exit(1)
+		}
+		for i := 0; i < perWriter; i++ {
+			if _, err := wr.WriteAt(buf, int64((i*writers+w)*rec)); err != nil {
+				fmt.Fprintf(os.Stderr, "indexbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		wr.Close()
+	}
+
+	t0 := time.Now()
+	r, err := c.OpenReader()
+	openDur := time.Since(t0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "indexbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+
+	raw := make([]core.IndexEntry, 0, perWriter*writers)
+	ts := uint64(0)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			ts++
+			raw = append(raw, core.IndexEntry{
+				LogicalOffset: int64((i*writers + w) * rec),
+				Length:        rec,
+				Writer:        int32(w),
+				LogOffset:     int64(i * rec),
+				Timestamp:     ts,
+			})
+		}
+	}
+	t1 := time.Now()
+	g := core.BuildGlobalIndex(raw)
+	mergeDur := time.Since(t1)
+
+	n := r.Index().NumEntries()
+	res := indexBenchResult{
+		Entries:       n,
+		Writers:       writers,
+		Hostdirs:      opts.NumHostdirs,
+		IngestWorkers: ingestWorkers,
+		Extents:       g.NumExtents(),
+		OpenSec:       openDur.Seconds(),
+		MergeSec:      mergeDur.Seconds(),
+	}
+	if openDur > 0 {
+		res.OpenEntriesPS = float64(n) / openDur.Seconds()
+	}
+	if mergeDur > 0 {
+		res.MergeEntriesPS = float64(len(raw)) / mergeDur.Seconds()
+	}
+	return res
+}
+
 func pattern(name string) (workload.Pattern, bool) {
 	switch name {
 	case "n1", "strided":
@@ -78,15 +208,20 @@ func pattern(name string) (workload.Pattern, bool) {
 
 func main() {
 	var (
-		fsName  = flag.String("fs", "panfs", "file system preset: panfs, lustre, gpfs")
-		servers = flag.Int("servers", 8, "number of I/O servers")
-		ranks   = flag.Int("ranks", 32, "application ranks")
-		mbEach  = flag.Int64("mb", 4, "checkpoint MiB per rank")
-		record  = flag.Int64("record", 47008, "application record size in bytes")
-		pat     = flag.String("pattern", "n1", "pattern: n1, segmented, nn, plfs")
-		sweep   = flag.Bool("sweep", false, "sweep ranks {8,16,32,64,128} across all patterns")
-		metrics = flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
-		trace   = flag.String("trace", "", "write a Chrome trace-event file (Perfetto/chrome://tracing) to this file")
+		fsName     = flag.String("fs", "panfs", "file system preset: panfs, lustre, gpfs")
+		servers    = flag.Int("servers", 8, "number of I/O servers")
+		ranks      = flag.Int("ranks", 32, "application ranks")
+		mbEach     = flag.Int64("mb", 4, "checkpoint MiB per rank")
+		record     = flag.Int64("record", 47008, "application record size in bytes")
+		pat        = flag.String("pattern", "n1", "pattern: n1, segmented, nn, plfs")
+		sweep      = flag.Bool("sweep", false, "sweep ranks {8,16,32,64,128} across all patterns")
+		indexBench = flag.Bool("indexbench", false, "time the PLFS global-index build (ingest + merge) instead of a checkpoint simulation")
+		entries    = flag.Int("entries", 1<<20, "indexbench: total index entries")
+		writers    = flag.Int("writers", 64, "indexbench: writer (rank) count")
+		ingestW    = flag.Int("ingest-workers", 0, "indexbench: parallel ingest workers (0 = GOMAXPROCS)")
+		jsonPath   = flag.String("json", "", "write machine-readable results (JSON) to this file")
+		metrics    = flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
+		trace      = flag.String("trace", "", "write a Chrome trace-event file (Perfetto/chrome://tracing) to this file")
 	)
 	flag.Parse()
 
@@ -106,6 +241,35 @@ func main() {
 	}
 	defer writeObs(reg, tr, *metrics, *trace)
 
+	if *indexBench {
+		res := runIndexBench(*entries, *writers, *ingestW, reg)
+		effWorkers := *ingestW
+		if effWorkers <= 0 {
+			effWorkers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("index build:   %d entries from %d writers over %d hostdirs\n",
+			res.Entries, res.Writers, res.Hostdirs)
+		fmt.Printf("ingest:        %d workers (requested %d)\n", effWorkers, *ingestW)
+		fmt.Printf("open reader:   %v ingest+merge (%.2fM entries/s)\n",
+			time.Duration(res.OpenSec*float64(time.Second)).Round(time.Microsecond), res.OpenEntriesPS/1e6)
+		fmt.Printf("merge only:    %v sweep-line (%.2fM entries/s)\n",
+			time.Duration(res.MergeSec*float64(time.Second)).Round(time.Microsecond), res.MergeEntriesPS/1e6)
+		fmt.Printf("extents:       %d resolved\n", res.Extents)
+		writeJSONFile(*jsonPath, benchJSON{IndexBench: &res})
+		return
+	}
+
+	var jsonResults []patternResult
+	addResult := func(p workload.Pattern, r int, res workload.Result) {
+		jsonResults = append(jsonResults, patternResult{
+			FS: cfg.Name, Pattern: p.String(), Ranks: r,
+			MBPerRank: *mbEach, RecordBytes: *record,
+			BandwidthMBps: res.Bandwidth / 1e6,
+			ElapsedSimSec: float64(res.Elapsed),
+			MetadataOps:   res.MetadataOps,
+		})
+	}
+
 	if *sweep {
 		fmt.Printf("sweep on %s (%d servers), %d MiB/rank, %d B records\n",
 			cfg.Name, *servers, *mbEach, *record)
@@ -118,9 +282,11 @@ func main() {
 					Pattern: p, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
 				}, reg, tr)
 				row = append(row, res.Bandwidth/1e6)
+				addResult(p, r, res)
 			}
 			fmt.Printf("%8d %16.1f %16.1f %16.1f %16.1f\n", r, row[0], row[1], row[2], row[3])
 		}
+		writeJSONFile(*jsonPath, benchJSON{Results: jsonResults})
 		return
 	}
 
@@ -133,10 +299,12 @@ func main() {
 		Ranks: *ranks, BytesPerRank: *mbEach << 20, RecordSize: *record,
 		Pattern: p, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
 	}, reg, tr)
+	addResult(p, *ranks, res)
 	fmt.Printf("file system:   %s (%d servers)\n", cfg.Name, *servers)
 	fmt.Printf("pattern:       %s\n", p)
 	fmt.Printf("ranks:         %d x %d MiB (records of %d B)\n", *ranks, *mbEach, *record)
 	fmt.Printf("elapsed:       %v\n", res.Elapsed)
 	fmt.Printf("bandwidth:     %.1f MB/s aggregate\n", res.Bandwidth/1e6)
 	fmt.Printf("metadata ops:  %d\n", res.MetadataOps)
+	writeJSONFile(*jsonPath, benchJSON{Results: jsonResults})
 }

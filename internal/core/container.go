@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -29,6 +30,11 @@ type Options struct {
 	// follow-on index-compression work).
 	CoalesceIndex bool
 
+	// IngestWorkers bounds the goroutines decoding hostdir index logs in
+	// OpenReader. 0 means runtime.GOMAXPROCS(0). Results are merged in
+	// hostdir order, so the GlobalIndex is identical for any worker count.
+	IngestWorkers int
+
 	// Metrics, when non-nil, receives the container's counters (writes,
 	// index entries, merge sizes, read-resolution fan-out) under the
 	// "plfs." prefix. Nil disables instrumentation at the cost of one
@@ -44,7 +50,22 @@ func (o Options) validate() error {
 	if o.NumHostdirs < 1 {
 		return fmt.Errorf("plfs: NumHostdirs %d < 1", o.NumHostdirs)
 	}
+	if o.IngestWorkers < 0 {
+		return fmt.Errorf("plfs: IngestWorkers %d < 0", o.IngestWorkers)
+	}
 	return nil
+}
+
+// ingestWorkers resolves the effective worker count for n index logs.
+func (o Options) ingestWorkers(n int) int {
+	w := o.IngestWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
 }
 
 // Container is an open PLFS container: the middleware's representation of
@@ -67,6 +88,8 @@ type Container struct {
 	cMerges        *obs.Counter
 	cMergedEntries *obs.Counter
 	cMergedExtents *obs.Counter
+	cIngestLogs    *obs.Counter
+	cLookupReuse   *obs.Counter
 	hReadFanout    *obs.Histogram
 }
 
@@ -85,6 +108,11 @@ func (c *Container) instrument() *Container {
 	c.cMerges = reg.Counter("plfs.index.merges")
 	c.cMergedEntries = reg.Counter("plfs.index.entries_merged")
 	c.cMergedExtents = reg.Counter("plfs.index.extents_resolved")
+	// Ingest width and scratch-buffer reuse are worker-count-independent,
+	// so snapshots stay byte-identical across IngestWorkers settings (the
+	// actual goroutine count is reported by tooling, not the registry).
+	c.cIngestLogs = reg.Counter("plfs.index.ingest.logs")
+	c.cLookupReuse = reg.Counter("plfs.lookup.scratch_reuse")
 	c.hReadFanout = reg.Histogram("plfs.read.fanout", obs.CountBuckets())
 	return c
 }
@@ -319,13 +347,46 @@ type Reader struct {
 	c     *Container
 	index *GlobalIndex
 	data  map[int32]BackendFile
+
+	// scratch is the steady-state piece buffer: ReadAt claims it with an
+	// atomic swap and returns it when done, so repeated reads allocate
+	// nothing while concurrent reads safely fall back to a fresh buffer.
+	scratch atomic.Pointer[[]Piece]
+}
+
+// indexLogRef locates one writer's index (and data) log pair.
+type indexLogRef struct {
+	hostdir string
+	id      int32
+}
+
+// ingestLog decodes one writer's index log and opens its data log.
+func (c *Container) ingestLog(ref indexLogRef) ([]IndexEntry, BackendFile, error) {
+	idx, err := c.backend.Open(fmt.Sprintf("%s/%s%d", ref.hostdir, indexPrefix, ref.id))
+	if err != nil {
+		return nil, nil, err
+	}
+	es, err := readIndexLog(idx)
+	idx.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	df, err := c.backend.Open(fmt.Sprintf("%s/%s%d", ref.hostdir, dataPrefix, ref.id))
+	if err != nil {
+		return nil, nil, err
+	}
+	return es, df, nil
 }
 
 // OpenReader builds the merged read view. Any live writers should Sync (or
 // Close) first or their trailing coalesced entries may be invisible.
+//
+// Index logs are decoded by a bounded worker pool (Options.IngestWorkers)
+// and the per-log results are concatenated in hostdir-scan order before
+// the merge, so the GlobalIndex is byte-identical no matter how the work
+// was scheduled.
 func (c *Container) OpenReader() (*Reader, error) {
-	var entries []IndexEntry
-	data := make(map[int32]BackendFile)
+	var refs []indexLogRef
 	for i := 0; i < c.opts.NumHostdirs; i++ {
 		hd := fmt.Sprintf("%s/%s%d", c.path, hostdirPrefix, i)
 		names, err := c.backend.ReadDir(hd)
@@ -337,22 +398,64 @@ func (c *Container) OpenReader() (*Reader, error) {
 			if _, err := fmt.Sscanf(name, indexPrefix+"%d", &id); err != nil || fmt.Sprintf("%s%d", indexPrefix, id) != name {
 				continue
 			}
-			idx, err := c.backend.Open(hd + "/" + name)
-			if err != nil {
-				return nil, err
-			}
-			es, err := readIndexLog(idx)
-			idx.Close()
-			if err != nil {
-				return nil, err
-			}
-			entries = append(entries, es...)
-			df, err := c.backend.Open(fmt.Sprintf("%s/%s%d", hd, dataPrefix, id))
-			if err != nil {
-				return nil, err
-			}
-			data[id] = df
+			refs = append(refs, indexLogRef{hostdir: hd, id: id})
 		}
+	}
+
+	perLog := make([][]IndexEntry, len(refs))
+	files := make([]BackendFile, len(refs))
+	if workers := c.opts.ingestWorkers(len(refs)); workers <= 1 {
+		for t, ref := range refs {
+			es, df, err := c.ingestLog(ref)
+			if err != nil {
+				closeAll(files)
+				return nil, err
+			}
+			perLog[t], files[t] = es, df
+		}
+	} else {
+		var (
+			nextTask atomic.Int64
+			failed   atomic.Bool
+			errOnce  sync.Once
+			firstErr error
+			wg       sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !failed.Load() {
+					t := int(nextTask.Add(1)) - 1
+					if t >= len(refs) {
+						return
+					}
+					es, df, err := c.ingestLog(refs[t])
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						failed.Store(true)
+						return
+					}
+					perLog[t], files[t] = es, df
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			closeAll(files)
+			return nil, firstErr
+		}
+	}
+
+	total := 0
+	for _, es := range perLog {
+		total += len(es)
+	}
+	entries := make([]IndexEntry, 0, total)
+	data := make(map[int32]BackendFile, len(refs))
+	for t, es := range perLog {
+		entries = append(entries, es...)
+		data[refs[t].id] = files[t]
 	}
 	gi := BuildGlobalIndex(entries)
 	// Index-merge cost: raw entries in vs resolved extents out. The ratio
@@ -360,7 +463,17 @@ func (c *Container) OpenReader() (*Reader, error) {
 	c.cMerges.Inc()
 	c.cMergedEntries.Add(int64(gi.NumEntries()))
 	c.cMergedExtents.Add(int64(gi.NumExtents()))
+	c.cIngestLogs.Add(int64(len(refs)))
 	return &Reader{c: c, index: gi, data: data}, nil
+}
+
+// closeAll releases whichever backend files a failed ingest already opened.
+func closeAll(files []BackendFile) {
+	for _, f := range files {
+		if f != nil {
+			f.Close()
+		}
+	}
 }
 
 // Size returns the logical file size.
@@ -385,11 +498,34 @@ func (r *Reader) ReadAt(buf []byte, off int64) (int, error) {
 	if n > avail {
 		n = avail
 	}
-	pieces := r.index.Lookup(off, n)
+	// Claim the reader's scratch piece buffer; a concurrent ReadAt that
+	// loses the swap race simply starts from a nil slice.
+	scratch := r.scratch.Swap(nil)
+	if scratch == nil {
+		scratch = new([]Piece)
+	} else {
+		r.c.cLookupReuse.Inc()
+	}
+	pieces := r.index.LookupAppend((*scratch)[:0], off, n)
 	// Read-resolution fan-out: how many log pieces one logical read
-	// touches — 1 for a uniform restart, many for shifted reads.
+	// touches — 1 for a uniform restart, many for shifted reads. Piece
+	// coalescing means one piece per contiguous log run, not per extent.
 	r.c.cReads.Inc()
 	r.c.hReadFanout.Observe(float64(len(pieces)))
+	err := r.readPieces(buf, off, pieces)
+	*scratch = pieces
+	r.scratch.Store(scratch)
+	if err != nil {
+		return 0, err
+	}
+	if n < want {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// readPieces fills buf (based at logical offset off) from resolved pieces.
+func (r *Reader) readPieces(buf []byte, off int64, pieces []Piece) error {
 	for _, p := range pieces {
 		dst := buf[p.Logical-off : p.Logical-off+p.Length]
 		if p.Writer < 0 {
@@ -400,16 +536,13 @@ func (r *Reader) ReadAt(buf []byte, off int64) (int, error) {
 		}
 		df, ok := r.data[p.Writer]
 		if !ok {
-			return 0, fmt.Errorf("plfs: index references missing data log for writer %d", p.Writer)
+			return fmt.Errorf("plfs: index references missing data log for writer %d", p.Writer)
 		}
 		if _, err := df.ReadAt(dst, p.LogOff); err != nil && err != io.EOF {
-			return 0, err
+			return err
 		}
 	}
-	if n < want {
-		return int(n), io.EOF
-	}
-	return int(n), nil
+	return nil
 }
 
 // Close releases the data log handles.

@@ -130,6 +130,80 @@ func BenchmarkBuildGlobalIndex(b *testing.B) {
 	}
 }
 
+// stridedCheckpointEntries models an N-1 strided checkpoint: writers
+// interleave fixed-size records round-robin and entries arrive in
+// timestamp order. Every record is disjoint, so the resolved extent list
+// grows to n — the pattern that made the old per-entry overlay quadratic.
+func stridedCheckpointEntries(n, writers int) []IndexEntry {
+	const rec = 4096
+	entries := make([]IndexEntry, 0, n)
+	var ts uint64
+	for i := 0; len(entries) < n; i++ {
+		for w := 0; w < writers && len(entries) < n; w++ {
+			ts++
+			entries = append(entries, IndexEntry{
+				LogicalOffset: int64(i*writers+w) * rec,
+				Length:        rec,
+				Writer:        int32(w),
+				LogOffset:     int64(i) * rec,
+				Timestamp:     ts,
+			})
+		}
+	}
+	return entries
+}
+
+// overlappingEntries is the fully-overlapping worst case: every entry
+// overlays half of its predecessor, so each one must split what came
+// before it during conflict resolution.
+func overlappingEntries(n int) []IndexEntry {
+	const rec = 4096
+	entries := make([]IndexEntry, n)
+	for i := range entries {
+		entries[i] = IndexEntry{
+			LogicalOffset: int64(i) * rec / 2,
+			Length:        rec,
+			Writer:        int32(i % 64),
+			LogOffset:     int64(i) * rec,
+			Timestamp:     uint64(i + 1),
+		}
+	}
+	return entries
+}
+
+func benchBuild(b *testing.B, entries []IndexEntry) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := BuildGlobalIndex(entries)
+		if g.NumEntries() != len(entries) {
+			b.Fatal("bad merge")
+		}
+	}
+}
+
+// BenchmarkBuildGlobalIndexStrided is the headline adversarial case: a
+// disjoint N-1 strided checkpoint at small (old-shape) and large
+// (new-shape) entry counts, up to the 1M-entry restart the ISSUE targets.
+func BenchmarkBuildGlobalIndexStrided(b *testing.B) {
+	for _, n := range []int{1 << 13, 1 << 15, 1 << 17, 1 << 20} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			benchBuild(b, stridedCheckpointEntries(n, 64))
+		})
+	}
+}
+
+// BenchmarkBuildGlobalIndexOverlap stresses conflict resolution: every
+// entry overlaps its predecessor, maximizing splits.
+func BenchmarkBuildGlobalIndexOverlap(b *testing.B) {
+	for _, n := range []int{1 << 13, 1 << 15, 1 << 17} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			benchBuild(b, overlappingEntries(n))
+		})
+	}
+}
+
 func BenchmarkGlobalIndexLookup(b *testing.B) {
 	entries := make([]IndexEntry, 4096)
 	for i := range entries {

@@ -40,16 +40,29 @@ func decodeEntry(buf []byte) IndexEntry {
 	}
 }
 
-// readIndexLog decodes every entry in an index log.
+// readIndexLog decodes every entry in an index log. ReadAt is retried
+// until the whole log is in memory: a backend may legally return fewer
+// bytes than asked alongside a nil or io.EOF error, and silently decoding
+// a partial buffer would fabricate zero entries.
 func readIndexLog(f BackendFile) ([]IndexEntry, error) {
 	size := f.Size()
 	if size%indexEntrySize != 0 {
 		return nil, fmt.Errorf("plfs: corrupt index log: %d bytes not a record multiple", size)
 	}
 	buf := make([]byte, size)
-	if size > 0 {
-		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+	for got := int64(0); got < size; {
+		n, err := f.ReadAt(buf[got:], got)
+		got += int64(n)
+		if got >= size {
+			break
+		}
+		switch {
+		case err == io.EOF:
+			return nil, fmt.Errorf("plfs: short index log read: %d of %d bytes", got, size)
+		case err != nil:
 			return nil, err
+		case n == 0:
+			return nil, fmt.Errorf("plfs: index log read stalled at %d of %d bytes: %w", got, size, io.ErrNoProgress)
 		}
 	}
 	entries := make([]IndexEntry, 0, size/indexEntrySize)
@@ -78,78 +91,150 @@ type GlobalIndex struct {
 	entries int // raw entries merged (before overlap resolution)
 }
 
+// priorityLess is the last-writer-wins total order: the entry with the
+// larger timestamp wins overlaps (ties broken by writer id, then log
+// offset, then logical offset and length, for determinism).
+func priorityLess(a, b IndexEntry) bool {
+	if a.Timestamp != b.Timestamp {
+		return a.Timestamp < b.Timestamp
+	}
+	if a.Writer != b.Writer {
+		return a.Writer < b.Writer
+	}
+	if a.LogOffset != b.LogOffset {
+		return a.LogOffset < b.LogOffset
+	}
+	if a.LogicalOffset != b.LogicalOffset {
+		return a.LogicalOffset < b.LogicalOffset
+	}
+	return a.Length < b.Length
+}
+
+// entryHeap is a hand-rolled max-heap of IndexEntry keyed by priorityLess.
+// container/heap would box every pushed entry into an interface; at a
+// million entries per merge that is a million avoidable allocations.
+type entryHeap struct {
+	es []IndexEntry
+}
+
+func (h *entryHeap) push(e IndexEntry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !priorityLess(h.es[p], h.es[i]) {
+			break
+		}
+		h.es[p], h.es[i] = h.es[i], h.es[p]
+		i = p
+	}
+}
+
+func (h *entryHeap) pop() {
+	n := len(h.es) - 1
+	h.es[0] = h.es[n]
+	h.es = h.es[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && priorityLess(h.es[big], h.es[l]) {
+			big = l
+		}
+		if r < n && priorityLess(h.es[big], h.es[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.es[i], h.es[big] = h.es[big], h.es[i]
+		i = big
+	}
+}
+
 // BuildGlobalIndex merges raw entries, resolving overlaps so that the entry
 // with the larger timestamp wins (ties broken by writer id, then log
 // offset, for determinism). This is the "read-back" step PLFS defers from
 // write time to read time.
+//
+// The merge is a single O(n log n) sweep: entries are sorted by logical
+// offset, the sweep visits every entry boundary left to right keeping the
+// set of entries covering the current position in a max-heap ordered by
+// priorityLess, and the heap top owns each inter-boundary segment.
+// Consecutive segments owned by the same entry are emitted as one extent,
+// which reproduces the previous per-entry overlay implementation
+// bit-for-bit (an entry's surviving fragments are maximal runs of its
+// ownership) without its quadratic slice copying.
 func BuildGlobalIndex(entries []IndexEntry) *GlobalIndex {
 	g := &GlobalIndex{entries: len(entries)}
-	sorted := append([]IndexEntry(nil), entries...)
-	sort.Slice(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if a.Timestamp != b.Timestamp {
-			return a.Timestamp < b.Timestamp
+	live := make([]IndexEntry, 0, len(entries))
+	for _, e := range entries {
+		if e.Length > 0 {
+			live = append(live, e)
 		}
-		if a.Writer != b.Writer {
-			return a.Writer < b.Writer
+	}
+	if len(live) == 0 {
+		return g
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].LogicalOffset != live[j].LogicalOffset {
+			return live[i].LogicalOffset < live[j].LogicalOffset
 		}
-		return a.LogOffset < b.LogOffset
+		// Among entries starting together, push the winner first so the
+		// order is deterministic under sort.Slice's unstable sort.
+		return priorityLess(live[j], live[i])
 	})
-	for _, e := range sorted {
-		if e.Length <= 0 {
+	// Every entry start and end is a sweep boundary; segment ownership is
+	// constant between consecutive boundaries.
+	bounds := make([]int64, 0, 2*len(live))
+	for _, e := range live {
+		bounds = append(bounds, e.LogicalOffset, e.LogicalOffset+e.Length)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	bounds = uniq
+	g.size = bounds[len(bounds)-1]
+
+	g.extents = make([]extent, 0, len(live))
+	var active entryHeap
+	active.es = make([]IndexEntry, 0, 64)
+	next := 0 // next live entry to activate
+	var prev IndexEntry
+	prevValid := false
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		pos, segEnd := bounds[bi], bounds[bi+1]
+		for next < len(live) && live[next].LogicalOffset == pos {
+			active.push(live[next])
+			next++
+		}
+		// Entries that ended at or before pos are dead; they only need to
+		// leave the heap once they surface at the top.
+		for len(active.es) > 0 && active.es[0].LogicalOffset+active.es[0].Length <= pos {
+			active.pop()
+		}
+		if len(active.es) == 0 {
+			prevValid = false // a hole; the next extent cannot extend across it
 			continue
 		}
-		g.insert(extent{logical: e.LogicalOffset, length: e.Length, writer: e.Writer, logOff: e.LogOffset})
-		if end := e.LogicalOffset + e.Length; end > g.size {
-			g.size = end
+		w := active.es[0]
+		if prevValid && w == prev {
+			g.extents[len(g.extents)-1].length += segEnd - pos
+			continue
 		}
+		g.extents = append(g.extents, extent{
+			logical: pos,
+			length:  segEnd - pos,
+			writer:  w.Writer,
+			logOff:  w.LogOffset + (pos - w.LogicalOffset),
+		})
+		prev, prevValid = w, true
 	}
 	return g
-}
-
-// insert overlays x on the extent list, truncating or splitting anything it
-// overlaps (x is newer than everything already present).
-func (g *GlobalIndex) insert(x extent) {
-	// Find the first extent whose end is beyond x.logical.
-	i := sort.Search(len(g.extents), func(i int) bool {
-		return g.extents[i].end() > x.logical
-	})
-	var out []extent
-	out = append(out, g.extents[:i]...)
-	j := i
-	for ; j < len(g.extents); j++ {
-		old := g.extents[j]
-		if old.logical >= x.end() {
-			break
-		}
-		// Keep any prefix of old before x.
-		if old.logical < x.logical {
-			out = append(out, extent{
-				logical: old.logical,
-				length:  x.logical - old.logical,
-				writer:  old.writer,
-				logOff:  old.logOff,
-			})
-		}
-		// Defer any suffix of old after x; it is handled below because it
-		// must come after x in sorted order.
-		if old.end() > x.end() {
-			cut := x.end() - old.logical
-			tail := extent{
-				logical: x.end(),
-				length:  old.end() - x.end(),
-				writer:  old.writer,
-				logOff:  old.logOff + cut,
-			}
-			out = append(out, x, tail)
-			out = append(out, g.extents[j+1:]...)
-			g.extents = out
-			return
-		}
-	}
-	out = append(out, x)
-	out = append(out, g.extents[j:]...)
-	g.extents = out
 }
 
 // Size returns the logical file size (highest written byte + 1).
@@ -172,13 +257,33 @@ type Piece struct {
 }
 
 // Lookup resolves a logical range into an ordered piece list covering it
-// exactly.
+// exactly. The output slice is sized up front from the number of extents
+// the range overlaps; callers that resolve repeatedly should prefer
+// LookupAppend with a reused buffer.
 func (g *GlobalIndex) Lookup(off, length int64) []Piece {
 	if length <= 0 {
 		return nil
 	}
+	lo := sort.Search(len(g.extents), func(i int) bool {
+		return g.extents[i].end() > off
+	})
+	hi := sort.Search(len(g.extents), func(i int) bool {
+		return g.extents[i].logical >= off+length
+	})
+	// k overlapping extents resolve to at most k pieces plus k+1 holes.
+	return g.LookupAppend(make([]Piece, 0, 2*(hi-lo)+1), off, length)
+}
+
+// LookupAppend appends the pieces covering [off, off+length) to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+// Adjacent pieces that are contiguous in both logical space and the same
+// writer's log are coalesced into one piece (as are adjacent holes), so a
+// reader issues one backend read per contiguous log run.
+func (g *GlobalIndex) LookupAppend(dst []Piece, off, length int64) []Piece {
+	if length <= 0 {
+		return dst
+	}
 	end := off + length
-	var out []Piece
 	i := sort.Search(len(g.extents), func(i int) bool {
 		return g.extents[i].end() > off
 	})
@@ -189,7 +294,7 @@ func (g *GlobalIndex) Lookup(off, length int64) []Piece {
 			break
 		}
 		if x.logical > cur {
-			out = append(out, Piece{Logical: cur, Length: x.logical - cur, Writer: -1})
+			dst = appendPiece(dst, Piece{Logical: cur, Length: x.logical - cur, Writer: -1})
 			cur = x.logical
 		}
 		from := cur - x.logical
@@ -197,13 +302,28 @@ func (g *GlobalIndex) Lookup(off, length int64) []Piece {
 		if n > end-cur {
 			n = end - cur
 		}
-		out = append(out, Piece{Logical: cur, Length: n, Writer: x.writer, LogOff: x.logOff + from})
+		dst = appendPiece(dst, Piece{Logical: cur, Length: n, Writer: x.writer, LogOff: x.logOff + from})
 		cur += n
 	}
 	if cur < end {
-		out = append(out, Piece{Logical: cur, Length: end - cur, Writer: -1})
+		dst = appendPiece(dst, Piece{Logical: cur, Length: end - cur, Writer: -1})
 	}
-	return out
+	return dst
+}
+
+// appendPiece adds p to dst, merging it into the final piece when the two
+// form one contiguous run (same writer, adjacent logically, and — for real
+// pieces — adjacent in the data log).
+func appendPiece(dst []Piece, p Piece) []Piece {
+	if n := len(dst); n > 0 {
+		last := &dst[n-1]
+		if last.Writer == p.Writer && last.Logical+last.Length == p.Logical &&
+			(p.Writer < 0 || last.LogOff+last.Length == p.LogOff) {
+			last.Length += p.Length
+			return dst
+		}
+	}
+	return append(dst, p)
 }
 
 // Coalesce merges adjacent extents that are contiguous in both logical

@@ -95,7 +95,13 @@ type LogicalFile struct {
 	name  string
 	pid   int32
 
-	mu     sync.Mutex
+	// mu is read/write: reads through an already-built reader only take
+	// the read lock, so restart-style concurrent reads on one handle
+	// proceed in parallel (Reader.ReadAt is itself concurrency-safe and
+	// allocation-free). Writes, reader (re)builds, and Close take the
+	// write lock, which also guarantees the reader is never closed while
+	// a read holds the read lock.
+	mu     sync.RWMutex
 	writer *Writer // lazily opened on first write
 	reader *Reader // lazily opened, invalidated by writes
 	closed bool
@@ -145,6 +151,15 @@ func (f *LogicalFile) WriteAt(p []byte, off int64) (int, error) {
 // re-merges the index (PLFS's read-after-write visibility point); the
 // handle's own pending writes are flushed first.
 func (f *LogicalFile) ReadAt(p []byte, off int64) (int, error) {
+	// Fast path: the reader exists, which means no write has invalidated
+	// it (WriteAt drops it), so there is nothing to sync or rebuild.
+	f.mu.RLock()
+	if !f.closed && f.reader != nil {
+		defer f.mu.RUnlock()
+		return f.reader.ReadAt(p, off)
+	}
+	f.mu.RUnlock()
+
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {

@@ -224,3 +224,99 @@ func TestReadSeeker(t *testing.T) {
 		t.Fatalf("ReadAll = %q", all)
 	}
 }
+
+// TestMountParallelIngest drives the parallel index-ingest path through
+// the mount layer: contents must be identical for any worker count.
+func TestMountParallelIngest(t *testing.T) {
+	backend := NewMemBackend()
+	want := make([]byte, 0, 16*8*64)
+	{
+		m, err := NewMount(backend, "/mnt", Options{NumHostdirs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid := int32(0); pid < 16; pid++ {
+			f, err := m.OpenFile("ckpt", pid, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				rec := bytes.Repeat([]byte{byte('a' + pid)}, 64)
+				if _, err := f.WriteAt(rec, int64((i*16+int(pid))*64)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 16*8; i++ {
+		want = append(want, bytes.Repeat([]byte{byte('a' + i%16)}, 64)...)
+	}
+	for _, workers := range []int{1, 4, 0} {
+		m, err := NewMount(backend, "/mnt", Options{NumHostdirs: 4, IngestWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := m.OpenFile("ckpt", 99, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(want))
+		if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: mount read differs from sequential ingest", workers)
+		}
+		f.Close()
+	}
+}
+
+// TestMountConcurrentReadsOneHandle exercises the read-lock fast path:
+// many goroutines read through one LogicalFile while no writes occur.
+func TestMountConcurrentReadsOneHandle(t *testing.T) {
+	m := newMount(t)
+	w, err := m.OpenFile("f", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("abcdefgh"), 512)
+	if _, err := w.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("f", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Warm the reader so every goroutine takes the RLock path.
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; i < 100; i++ {
+				off := int64((i*8 + g) % 60 * 64)
+				if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+					t.Error(err)
+					return
+				}
+				if buf[0] != payload[off] {
+					t.Errorf("offset %d: got %q, want %q", off, buf[0], payload[off])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
