@@ -10,6 +10,7 @@
 //	plfsbench -sweep          # rank sweep comparing all patterns
 //	plfsbench -indexbench -entries 1048576 -writers 64
 //	plfsbench -sweep -json BENCH_plfs.json
+//	plfsbench -pattern nn -mtbf 8 -checkpoints 4 -compute 0.5
 package main
 
 import (
@@ -21,8 +22,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/failure"
 	"repro/internal/obs"
 	"repro/internal/pfs"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -192,6 +195,48 @@ func runIndexBench(entries, writers, ingestWorkers int, reg *obs.Registry) index
 	return res
 }
 
+// runFaulty executes the single-pattern checkpoint under a deterministic
+// fault plan: servers crash with exponential interarrivals of the given
+// MTBF while the application alternates compute and checkpoint rounds,
+// retrying failed ops with capped backoff.
+func runFaulty(cfg pfs.Config, p workload.Pattern, ranks int, mbEach, record int64,
+	mtbf, downtime, computeSec float64, ckpts int, seed int64, reg *obs.Registry, tr *obs.Tracer) {
+	spec := workload.Spec{
+		Ranks: ranks, BytesPerRank: mbEach << 20, RecordSize: record,
+		Pattern: p, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
+	}
+	// A clean run sizes the fault horizon: compute plus a generous
+	// multiple of the healthy capture time per round.
+	clean := workload.RunFaults(cfg, workload.FaultSpec{Spec: spec, Checkpoints: 1}, nil, nil)
+	horizon := float64(ckpts) * (computeSec + 8*float64(clean.Elapsed) + downtime)
+	plan := failure.DrawOSSFaults(failure.OSSFaultSpec{
+		Servers:  cfg.NumServers,
+		MTBF:     mtbf,
+		Shape:    1,
+		Downtime: downtime,
+		Horizon:  horizon,
+	}, seed)
+	res := workload.RunFaults(cfg, workload.FaultSpec{
+		Spec:         spec,
+		Checkpoints:  ckpts,
+		ComputeTime:  sim.Time(computeSec),
+		Plan:         plan,
+		MaxRetries:   6,
+		RetryBackoff: sim.Time(5e-3),
+		MaxBackoff:   sim.Time(0.1),
+	}, reg, tr)
+	fmt.Printf("file system:   %s (%d servers), per-server MTBF %.1f s, downtime %.1f s\n",
+		cfg.Name, cfg.NumServers, mtbf, downtime)
+	fmt.Printf("pattern:       %s, %d ranks x %d MiB x %d checkpoints\n", p, ranks, mbEach, ckpts)
+	fmt.Printf("healthy ckpt:  %v\n", clean.Elapsed)
+	fmt.Printf("faulty ckpts:  %v total (%.2fx slowdown)\n",
+		res.Elapsed, float64(res.Elapsed)/(float64(clean.Elapsed)*float64(ckpts)))
+	fmt.Printf("utilization:   %.3f over %v wall clock\n", res.Utilization, res.WallClock)
+	fmt.Printf("faults:        %d crashes, %d recoveries, %d failed ops, %d degraded reads\n",
+		res.Faults.Crashes, res.Faults.Recoveries, res.Faults.FailedOps, res.Faults.DegradedReads)
+	fmt.Printf("client:        %d retries, %d dropped ops\n", res.Retries, res.DroppedOps)
+}
+
 func pattern(name string) (workload.Pattern, bool) {
 	switch name {
 	case "n1", "strided":
@@ -219,6 +264,11 @@ func main() {
 		entries    = flag.Int("entries", 1<<20, "indexbench: total index entries")
 		writers    = flag.Int("writers", 64, "indexbench: writer (rank) count")
 		ingestW    = flag.Int("ingest-workers", 0, "indexbench: parallel ingest workers (0 = GOMAXPROCS)")
+		mtbf       = flag.Float64("mtbf", 0, "per-server MTBF in seconds; > 0 injects OSS crashes into the (non-sweep) run")
+		downtime   = flag.Float64("downtime", 0.5, "crash downtime in seconds (0 = permanent failure)")
+		faultSeed  = flag.Int64("fault-seed", 42, "seed for the deterministic fault draw")
+		ckpts      = flag.Int("checkpoints", 4, "compute+checkpoint rounds under -mtbf")
+		computeSec = flag.Float64("compute", 0.5, "simulated compute seconds between checkpoints under -mtbf")
 		jsonPath   = flag.String("json", "", "write machine-readable results (JSON) to this file")
 		metrics    = flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
 		trace      = flag.String("trace", "", "write a Chrome trace-event file (Perfetto/chrome://tracing) to this file")
@@ -294,6 +344,10 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown -pattern %q\n", *pat)
 		os.Exit(2)
+	}
+	if *mtbf > 0 {
+		runFaulty(cfg, p, *ranks, *mbEach, *record, *mtbf, *downtime, *computeSec, *ckpts, *faultSeed, reg, tr)
+		return
 	}
 	res := workload.RunProbed(cfg, workload.Spec{
 		Ranks: *ranks, BytesPerRank: *mbEach << 20, RecordSize: *record,

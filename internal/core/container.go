@@ -40,6 +40,10 @@ type Options struct {
 	// "plfs." prefix. Nil disables instrumentation at the cost of one
 	// branch per probe site.
 	Metrics *obs.Registry
+
+	// Retry governs writer recovery from backend append errors (see
+	// faults.go). The zero value surfaces the first error unchanged.
+	Retry RetryPolicy
 }
 
 // DefaultOptions matches the PLFS defaults: 32 hostdirs, no write-time
@@ -90,6 +94,9 @@ type Container struct {
 	cMergedExtents *obs.Counter
 	cIngestLogs    *obs.Counter
 	cLookupReuse   *obs.Counter
+	cRetries       *obs.Counter
+	cFailovers     *obs.Counter
+	cDropped       *obs.Counter
 	hReadFanout    *obs.Histogram
 }
 
@@ -113,6 +120,9 @@ func (c *Container) instrument() *Container {
 	// actual goroutine count is reported by tooling, not the registry).
 	c.cIngestLogs = reg.Counter("plfs.index.ingest.logs")
 	c.cLookupReuse = reg.Counter("plfs.lookup.scratch_reuse")
+	c.cRetries = reg.Counter("plfs.write.retries")
+	c.cFailovers = reg.Counter("plfs.write.failovers")
+	c.cDropped = reg.Counter("plfs.write.dropped_bytes")
 	c.hReadFanout = reg.Histogram("plfs.read.fanout", obs.CountBuckets())
 	return c
 }
@@ -185,6 +195,13 @@ type Writer struct {
 	dataOff int64
 	closed  bool
 
+	// gen counts failovers; logID (= logKey(id, gen)) names the current
+	// generation's log pair and stamps new index entries, so entries from
+	// all generations merge like independent writers (see faults.go).
+	gen    int32
+	logID  int32
+	faults WriterFaultStats
+
 	// pending is the not-yet-flushed last entry when coalescing.
 	pending   *IndexEntry
 	mu        sync.Mutex
@@ -221,7 +238,7 @@ func (c *Container) OpenWriter(id int32) (*Writer, error) {
 			return nil, err
 		}
 	}
-	w := &Writer{c: c, id: id, data: data, index: index, dataOff: data.Size()}
+	w := &Writer{c: c, id: id, logID: id, data: data, index: index, dataOff: data.Size()}
 	c.writers[id] = w
 	return w, nil
 }
@@ -243,12 +260,17 @@ func (w *Writer) WriteAt(buf []byte, off int64) (int, error) {
 	}
 	n, err := w.data.Write(buf)
 	if err != nil {
-		return n, err
+		// Retry in place, then fail over to a new log generation (see
+		// faults.go). Recovery adjusts dataOff for dropped bytes and
+		// generation resets, so the entry below stays truthful.
+		if n, err = w.recoverDataAppendLocked(buf, n, err); err != nil {
+			return 0, err
+		}
 	}
 	entry := IndexEntry{
 		LogicalOffset: off,
 		Length:        int64(len(buf)),
-		Writer:        w.id,
+		Writer:        w.logID,
 		LogOffset:     w.dataOff,
 		Timestamp:     w.c.clock.Add(1),
 	}
@@ -259,7 +281,7 @@ func (w *Writer) WriteAt(buf []byte, off int64) (int, error) {
 	w.c.cBytesData.Add(int64(len(buf)))
 
 	if w.c.opts.CoalesceIndex {
-		if p := w.pending; p != nil &&
+		if p := w.pending; p != nil && p.Writer == entry.Writer &&
 			p.LogicalOffset+p.Length == entry.LogicalOffset &&
 			p.LogOffset+p.Length == entry.LogOffset {
 			p.Length += entry.Length
@@ -280,7 +302,9 @@ func (w *Writer) appendEntryLocked(e IndexEntry) error {
 	var rec [indexEntrySize]byte
 	e.encode(rec[:])
 	if _, err := w.index.Write(rec[:]); err != nil {
-		return err
+		if err = w.recoverIndexAppendLocked(rec[:], err); err != nil {
+			return err
+		}
 	}
 	w.nEntries++
 	w.c.cIndexEntries.Inc()
@@ -525,6 +549,12 @@ func (r *Reader) ReadAt(buf []byte, off int64) (int, error) {
 }
 
 // readPieces fills buf (based at logical offset off) from resolved pieces.
+// Like readIndexLog, it retries legal short reads until each piece is
+// complete and surfaces a log that ends before its indexed extent as
+// ErrTruncatedLog — the signature of a writer that crashed between its
+// index append and its data append becoming durable. Silently returning
+// whatever the log had would hand the application zero-filled bytes it
+// never wrote.
 func (r *Reader) readPieces(buf []byte, off int64, pieces []Piece) error {
 	for _, p := range pieces {
 		dst := buf[p.Logical-off : p.Logical-off+p.Length]
@@ -538,8 +568,22 @@ func (r *Reader) readPieces(buf []byte, off int64, pieces []Piece) error {
 		if !ok {
 			return fmt.Errorf("plfs: index references missing data log for writer %d", p.Writer)
 		}
-		if _, err := df.ReadAt(dst, p.LogOff); err != nil && err != io.EOF {
-			return err
+		for got := 0; got < len(dst); {
+			n, err := df.ReadAt(dst[got:], p.LogOff+int64(got))
+			got += n
+			if got >= len(dst) {
+				break
+			}
+			switch {
+			case err == io.EOF:
+				return fmt.Errorf("%w: writer %d log offset %d: %d of %d bytes",
+					ErrTruncatedLog, p.Writer, p.LogOff, got, len(dst))
+			case err != nil:
+				return err
+			case n == 0:
+				return fmt.Errorf("plfs: data log read stalled at %d of %d bytes: %w",
+					got, len(dst), io.ErrNoProgress)
+			}
 		}
 	}
 	return nil

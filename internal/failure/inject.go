@@ -1,0 +1,87 @@
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// This file bridges the package's closed-form failure models into the
+// discrete-event simulator: instead of only *predicting* how often servers
+// die (Figure 4) and what that does to utilization (Figure 5), a drawn
+// FaultPlan makes servers actually die inside a running simulation, so the
+// analytic models can be validated against injected-failure measurements
+// (the `faults` experiment in cmd/pdsirepro).
+
+// OSSFaultSpec parameterizes a fault draw for a striped file system's
+// object storage servers. Each server fails independently with Weibull
+// interarrival times of the given shape, scaled so the mean matches MTBF —
+// the same machinery as GenerateTrace, aimed at storage servers instead
+// of compute nodes.
+type OSSFaultSpec struct {
+	// Servers is the number of object storage servers ("oss0"..).
+	Servers int
+
+	// MTBF is each server's mean time between failures in seconds.
+	MTBF float64
+
+	// Shape is the Weibull shape of interarrivals: 1.0 is Poisson, <1
+	// gives the bursty, decreasing-hazard behaviour of the LANL traces.
+	Shape float64
+
+	// Downtime is how long each crash keeps a server down, in seconds.
+	// Zero or negative makes every failure permanent for the run.
+	Downtime float64
+
+	// Horizon bounds the draw: failures are generated in [0, Horizon).
+	Horizon float64
+
+	// Target overrides the "oss<i>" naming convention (the one
+	// internal/pfs resolves) when the plan drives another subsystem.
+	Target func(i int) string
+}
+
+func (s OSSFaultSpec) validate() error {
+	if s.Servers < 1 || s.MTBF <= 0 || s.Shape <= 0 || s.Horizon <= 0 {
+		return fmt.Errorf("failure: invalid OSS fault spec %+v", s)
+	}
+	return nil
+}
+
+// DrawOSSFaults draws a deterministic fault plan from the spec: the same
+// spec and seed always produce the same plan, and the plan is plain data,
+// so the whole fault-injected simulation inherits the engine's
+// reproducibility. Servers draw from independent streams (seed offset by
+// server index), so adding a server never perturbs the others' schedules.
+func DrawOSSFaults(spec OSSFaultSpec, seed int64) *sim.FaultPlan {
+	if err := spec.validate(); err != nil {
+		panic(err)
+	}
+	target := spec.Target
+	if target == nil {
+		target = func(i int) string { return fmt.Sprintf("oss%d", i) }
+	}
+	scale := spec.MTBF / stats.Weibull{Shape: spec.Shape, Scale: 1}.Mean()
+	d := stats.Weibull{Shape: spec.Shape, Scale: scale}
+	down := sim.Time(spec.Downtime)
+	if down < 0 {
+		down = 0
+	}
+	plan := sim.NewFaultPlan()
+	for i := 0; i < spec.Servers; i++ {
+		r := rand.New(rand.NewSource(seed + int64(i)))
+		name := target(i)
+		for t := d.Sample(r); t < spec.Horizon; t += d.Sample(r) {
+			plan.Add(name, sim.Time(t), down)
+			if down <= 0 {
+				// Permanent failure: nothing later matters for this server.
+				break
+			}
+			// Interarrivals restart after the recovery, not mid-outage.
+			t += spec.Downtime
+		}
+	}
+	return plan
+}

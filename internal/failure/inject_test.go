@@ -1,0 +1,88 @@
+package failure
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testSpec() OSSFaultSpec {
+	return OSSFaultSpec{Servers: 4, MTBF: 100, Shape: 1, Downtime: 5, Horizon: 2000}
+}
+
+func TestDrawOSSFaultsDeterministic(t *testing.T) {
+	a := DrawOSSFaults(testSpec(), 42).Events()
+	b := DrawOSSFaults(testSpec(), 42).Events()
+	if len(a) == 0 {
+		t.Fatal("no faults drawn over 20 MTBFs")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec and seed drew different plans")
+	}
+	c := DrawOSSFaults(testSpec(), 43).Events()
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds drew identical plans")
+	}
+}
+
+func TestDrawOSSFaultsTargetsAndHorizon(t *testing.T) {
+	spec := testSpec()
+	for _, ev := range DrawOSSFaults(spec, 1).Events() {
+		if !strings.HasPrefix(ev.Target, "oss") {
+			t.Fatalf("target %q does not follow the oss<i> convention", ev.Target)
+		}
+		if float64(ev.At) >= spec.Horizon {
+			t.Fatalf("event at %v beyond horizon %v", ev.At, spec.Horizon)
+		}
+		if ev.Permanent() {
+			t.Fatalf("downtime %v drew a permanent event", spec.Downtime)
+		}
+	}
+}
+
+func TestDrawOSSFaultsPermanentStopsPerServer(t *testing.T) {
+	spec := testSpec()
+	spec.Downtime = 0
+	perServer := map[string]int{}
+	for _, ev := range DrawOSSFaults(spec, 7).Events() {
+		if !ev.Permanent() {
+			t.Fatalf("zero downtime drew recoverable event %+v", ev)
+		}
+		perServer[ev.Target]++
+	}
+	for target, n := range perServer {
+		if n != 1 {
+			t.Fatalf("permanently failed %s %d times", target, n)
+		}
+	}
+}
+
+func TestDrawOSSFaultsRateTracksMTBF(t *testing.T) {
+	spec := OSSFaultSpec{Servers: 1, MTBF: 50, Shape: 1, Downtime: 1, Horizon: 500000}
+	n := DrawOSSFaults(spec, 3).Len()
+	// Expected ~ Horizon/(MTBF+Downtime) events; allow wide slack.
+	want := spec.Horizon / (spec.MTBF + spec.Downtime)
+	if f := float64(n) / want; f < 0.8 || f > 1.2 {
+		t.Fatalf("drew %d events, want about %.0f", n, want)
+	}
+}
+
+func TestDrawOSSFaultsTargetOverride(t *testing.T) {
+	spec := testSpec()
+	spec.Target = func(i int) string { return fmt.Sprintf("disk%d", i) }
+	for _, ev := range DrawOSSFaults(spec, 1).Events() {
+		if !strings.HasPrefix(ev.Target, "disk") {
+			t.Fatalf("override ignored: target %q", ev.Target)
+		}
+	}
+}
+
+func TestDrawOSSFaultsInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid spec did not panic")
+		}
+	}()
+	DrawOSSFaults(OSSFaultSpec{}, 0)
+}

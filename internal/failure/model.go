@@ -1,11 +1,36 @@
 // Package failure implements the PDSI failure characterization and
-// fault-tolerance modeling line of work: synthetic versions of the LANL
-// 9-year failure traces, the interrupts-linear-in-chips model and MTTI
-// projection of Figure 4, the checkpoint/utilization projection of
-// Figure 5 (effective application utilization crossing 50% before 2014
-// under balanced-system growth), and the FAST'07 disk-replacement
-// analysis that overturned the "bathtub curve" and enterprise-vs-desktop
-// assumptions.
+// fault-tolerance modeling line of work. Each piece maps to a specific
+// result in the report:
+//
+//   - GenerateTrace / LANLStyleFleet / Analyze synthesize and summarize
+//     event streams shaped like the released LANL 9-year failure traces:
+//     Weibull interarrivals (stats.Weibull) whose shape < 1 reproduces the
+//     bursty, decreasing-hazard behaviour observed in the data, and
+//     FitInterruptsVsChips recovers the report's "interrupts are linear in
+//     processor chips" regression (Figure 4's underlying fit).
+//
+//   - Projection / ReportProjection extrapolate that fit under top500
+//     growth: chip counts — and interrupt rates — compound as aggregate
+//     speed doubles yearly while per-chip speed lags (Figure 4's MTTI
+//     projection for 18/24/30-month chip doubling periods).
+//
+//   - Daly is the checkpoint/restart model behind the report's
+//     checkpoint-interval figures: OptimalInterval and Utilization give
+//     the optimum dump interval and the resulting effective application
+//     utilization, and BalancedUtilization traces Figure 5's year-by-year
+//     decline through the 50% crossing before 2014. ProcessPairsUtilization
+//     and DiskGrowth quantify the report's alternatives-and-costs
+//     discussion (process pairs; disk-count growth when disk bandwidth
+//     lags required aggregate bandwidth).
+//
+//   - DrawOSSFaults (inject.go) turns the same distributions into a
+//     sim.FaultPlan, so the analytic optimum-interval predictions can be
+//     checked against a simulation whose storage servers actually crash
+//     mid-checkpoint (the `faults` experiment).
+//
+// The FAST'07 disk-replacement analysis that overturned the "bathtub
+// curve" and enterprise-vs-desktop assumptions motivates the Weibull
+// machinery in package stats.
 package failure
 
 import (

@@ -54,10 +54,17 @@ func (t *Tracer) Span(cat, name string, tid int64, startSec, endSec float64, arg
 
 // Instant records a zero-duration ("ph":"i") event at atSec.
 func (t *Tracer) Instant(cat, name string, tid int64, atSec float64) {
+	t.InstantArgs(cat, name, tid, atSec, nil)
+}
+
+// InstantArgs is Instant with an argument map (serialized with sorted
+// keys, preserving snapshot determinism). Fault injectors use it to mark
+// crash/recovery points with their target and downtime.
+func (t *Tracer) InstantArgs(cat, name string, tid int64, atSec float64, args map[string]any) {
 	if t == nil {
 		return
 	}
-	t.append(TraceEvent{Name: name, Cat: cat, Ph: "i", TS: atSec * 1e6, TID: tid})
+	t.append(TraceEvent{Name: name, Cat: cat, Ph: "i", TS: atSec * 1e6, TID: tid, Args: args})
 }
 
 func (t *Tracer) append(e TraceEvent) {

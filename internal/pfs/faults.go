@@ -1,0 +1,200 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file is the failure half of the striped-FS model: what one dead OSS
+// does to everyone else. An injected crash (FS implements sim.FaultSink, so
+// a sim.FaultPlan drives it directly) marks the server down and bumps its
+// epoch; operations in flight discover at their next completion stage that
+// the acknowledgment they were waiting for died with the server, pay the
+// client's RPC timeout, and error back. Stripe locks held by a failed write
+// linger for the DLM lease period before waiters may proceed. Reads of the
+// dead server's stripes are reconstructed from parity by a surviving
+// neighbour at DegradedPenalty× the nominal disk cost, and stay degraded
+// through the post-recovery rebuild window. All of it is ordinary
+// deterministic event traffic: same plan, same seed, same trajectory.
+
+// ErrServerDown is returned by WriteErr/ReadErr completions when the
+// operation's object storage server crashed before acknowledging, or —
+// for reads — when no surviving server can reconstruct the data.
+var ErrServerDown = errors.New("pfs: object storage server down")
+
+// FaultStats aggregates the failure layer's activity over a run.
+type FaultStats struct {
+	// Crashes and Recoveries count state transitions actually applied
+	// (redundant plan events against an already-down target do not count).
+	Crashes    int64
+	Recoveries int64
+
+	// Rebuilds counts post-recovery parity rebuilds started; RebuildBusy
+	// is their total simulated duration.
+	Rebuilds    int64
+	RebuildBusy sim.Time
+
+	// FailedOps counts client operations that errored on a dead server.
+	FailedOps int64
+
+	// DegradedReads counts reads served from parity reconstruction.
+	DegradedReads int64
+
+	// LeaseExpiries counts stripe locks reclaimed from failed writers
+	// after the DLM lease period.
+	LeaseExpiries int64
+}
+
+// FaultStats returns a copy of the failure-layer activity so far.
+func (fs *FS) FaultStats() FaultStats { return fs.faults }
+
+// OSSTarget names server i for FaultPlan targeting ("oss0", "oss1", ...).
+func OSSTarget(i int) string { return fmt.Sprintf("oss%d", i) }
+
+// InjectFaults arms a fault plan against this file system. Targets are
+// OSSTarget names; unknown targets are ignored, so one plan can drive
+// several subsystems. A nil or empty plan is a no-op, and with no plan
+// injected the fault layer never alters a run.
+func (fs *FS) InjectFaults(plan *sim.FaultPlan) {
+	plan.Schedule(fs.eng, fs)
+}
+
+// serverByTarget resolves an OSSTarget name, or nil for foreign targets.
+func (fs *FS) serverByTarget(target string) *server {
+	var i int
+	if n, err := fmt.Sscanf(target, "oss%d", &i); err != nil || n != 1 {
+		return nil
+	}
+	if i < 0 || i >= len(fs.servers) {
+		return nil
+	}
+	return fs.servers[i]
+}
+
+// CrashTarget implements sim.FaultSink: the named server stops answering.
+// Bumping the epoch is what fails operations already inside the server —
+// they compare epochs at each completion stage instead of being hunted
+// down and cancelled, which keeps the event queue untouched.
+func (fs *FS) CrashTarget(target string) {
+	srv := fs.serverByTarget(target)
+	if srv == nil || srv.down {
+		return
+	}
+	srv.down = true
+	srv.epoch++
+	fs.faults.Crashes++
+	fs.cCrashes.Inc()
+}
+
+// RecoverTarget implements sim.FaultSink: the named server returns to
+// service and, when RebuildTime is set, spends it reconstructing objects
+// from parity — reads in that window still pay the degraded penalty.
+func (fs *FS) RecoverTarget(target string) {
+	srv := fs.serverByTarget(target)
+	if srv == nil || !srv.down {
+		return
+	}
+	srv.down = false
+	fs.faults.Recoveries++
+	fs.cRecoveries.Inc()
+	if rb := fs.Cfg.RebuildTime; rb > 0 {
+		srv.rebuildUntil = fs.eng.Now() + rb
+		fs.faults.Rebuilds++
+		fs.faults.RebuildBusy += rb
+		fs.cRebuilds.Inc()
+	}
+}
+
+// failTimeout is the client-visible RPC timeout (Config.FailTimeout,
+// default 25ms).
+func (fs *FS) failTimeout() sim.Time {
+	if fs.Cfg.FailTimeout > 0 {
+		return fs.Cfg.FailTimeout
+	}
+	return sim.Time(25e-3)
+}
+
+// degradedPenalty is the parity-reconstruction disk-cost multiplier
+// (Config.DegradedPenalty, default 4: read the surviving stripe units
+// plus parity, then XOR).
+func (fs *FS) degradedPenalty() float64 {
+	if fs.Cfg.DegradedPenalty > 0 {
+		return fs.Cfg.DegradedPenalty
+	}
+	return 4
+}
+
+// failOp errors one client operation against a dead server: the client
+// learns nothing until its RPC timeout fires.
+func (fs *FS) failOp(done func(error)) {
+	fs.faults.FailedOps++
+	fs.cFailedOps.Inc()
+	fs.eng.Schedule(fs.failTimeout(), func() { done(ErrServerDown) })
+}
+
+// failWrite is failOp for a write that may hold a stripe lock: the lock
+// is not cleanly released by the dead server, so waiters sit out the DLM
+// lease before the manager reclaims it.
+func (fs *FS) failWrite(key stripeKey, locked bool, done func(error)) {
+	if locked {
+		fs.expireLease(key)
+	}
+	fs.failOp(done)
+}
+
+// expireLease reclaims a stripe lock abandoned by a failed write. With
+// LeaseExpiry zero the manager reclaims immediately; otherwise waiters
+// stall for the full lease — the cost DLM-based systems pay for not
+// having to ask a dead server's permission.
+func (fs *FS) expireLease(key stripeKey) {
+	if fs.Cfg.LeaseExpiry <= 0 {
+		fs.release(key)
+		return
+	}
+	fs.faults.LeaseExpiries++
+	fs.cLeaseExp.Inc()
+	fs.eng.Schedule(fs.Cfg.LeaseExpiry, func() { fs.release(key) })
+}
+
+// survivor walks the placement ring from the dead server and returns the
+// first live one (its parity group in a real deployment), or nil when the
+// whole array is down.
+func (fs *FS) survivor(down *server) *server {
+	n := len(fs.servers)
+	for i := 1; i < n; i++ {
+		s := fs.servers[(down.idx+i)%n]
+		if !s.down {
+			return s
+		}
+	}
+	return nil
+}
+
+// readDegraded serves a piece whose home server is down: a surviving
+// neighbour reads the remaining stripe fragments plus parity from its own
+// disk, reconstructs the data, and ships it — DegradedPenalty× the
+// nominal disk cost on the neighbour's queues.
+func (fs *FS) readDegraded(alt, home *server, st *fileState, p subOp, done func(error)) {
+	key := stripeKey{file: st.id, unit: p.unit}
+	diskOff, ok := home.extent[key]
+	if !ok {
+		// Hole: nothing to reconstruct.
+		alt.dq.Submit(0, func(sim.Time) { done(nil) })
+		return
+	}
+	svc := sim.Time(float64(alt.dsk.Access(diskOff+p.offIn, p.size)) * fs.degradedPenalty())
+	alt.bytesRead += p.size
+	alt.cOps.Inc()
+	alt.cBytesR.Add(p.size)
+	epoch := alt.epoch
+	alt.dq.Submit(svc, func(sim.Time) {
+		if alt.epoch != epoch {
+			// The neighbour died mid-reconstruction too.
+			fs.failOp(done)
+			return
+		}
+		alt.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) { done(nil) })
+	})
+}

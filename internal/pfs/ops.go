@@ -107,8 +107,9 @@ func (c *Client) traceSpan(cat, name string, done func(*File)) func(*File) {
 }
 
 // traceIOSpan is traceSpan for data-path completions, annotated with the
-// logical offset and size.
-func (c *Client) traceIOSpan(name string, off, size int64, done func()) func() {
+// logical offset and size; failed operations gain an "error" argument
+// (fault-free spans are byte-identical with the pre-fault-layer trace).
+func (c *Client) traceIOSpan(name string, off, size int64, done func(error)) func(error) {
 	tr := c.fs.eng.Tracer()
 	if !tr.Enabled() {
 		return done
@@ -116,11 +117,14 @@ func (c *Client) traceIOSpan(name string, off, size int64, done func()) func() {
 	eng := c.fs.eng
 	start := float64(eng.Now())
 	tid := int64(c.id)
-	return func() {
-		tr.Span("pfs", name, tid, start, float64(eng.Now()),
-			map[string]any{"off": off, "size": size})
+	return func(err error) {
+		args := map[string]any{"off": off, "size": size}
+		if err != nil {
+			args["error"] = err.Error()
+		}
+		tr.Span("pfs", name, tid, start, float64(eng.Now()), args)
 		if done != nil {
-			done()
+			done(err)
 		}
 	}
 }
@@ -152,34 +156,57 @@ func split(off, size, unit int64) []subOp {
 // stripe unit is: client NIC transfer -> RPC latency -> stripe lock
 // acquisition (revoke if another client owns it) -> server NIC -> disk
 // write, with read-modify-write if the piece does not cover its unit.
+// Write ignores server failures; fault-aware callers use WriteErr.
 func (c *Client) Write(f *File, off, size int64, done func()) {
+	if done == nil {
+		c.WriteErr(f, off, size, nil)
+		return
+	}
+	c.WriteErr(f, off, size, func(error) { done() })
+}
+
+// WriteErr is Write with failure reporting: done receives ErrServerDown
+// when any piece's server crashed before acknowledging. The file size
+// only advances on full success, so a failed checkpoint write leaves no
+// phantom extent. Fault-free runs follow the exact event sequence of
+// Write — the error plumbing costs a nil comparison per piece.
+func (c *Client) WriteErr(f *File, off, size int64, done func(error)) {
 	if size <= 0 {
 		if done != nil {
-			c.fs.eng.Schedule(0, done)
+			c.fs.eng.Schedule(0, func() { done(nil) })
 		}
 		return
 	}
 	fs := c.fs
 	done = c.traceIOSpan("write", off, size, done)
 	pieces := split(off, size, fs.Cfg.StripeUnit)
+	var firstErr error
 	barrier := sim.NewBarrier(fs.eng, len(pieces), func(sim.Time) {
-		if end := off + size; end > f.st.size {
-			f.st.size = end
+		if firstErr == nil {
+			if end := off + size; end > f.st.size {
+				f.st.size = end
+			}
 		}
 		if done != nil {
-			done()
+			done(firstErr)
 		}
 	})
+	arrive := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		barrier.Arrive()
+	}
 	for _, p := range pieces {
 		p := p
 		// The client's link serializes its own pieces.
 		c.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ClientNetBW), func(sim.Time) {
-			fs.writePiece(c.id, f.st, p, barrier.Arrive)
+			fs.writePiece(c.id, f.st, p, arrive)
 		})
 	}
 }
 
-func (fs *FS) writePiece(clientID int, st *fileState, p subOp, done func()) {
+func (fs *FS) writePiece(clientID int, st *fileState, p subOp, done func(error)) {
 	lockSpan := fs.Cfg.LockGranularity
 	if lockSpan <= 0 {
 		lockSpan = fs.Cfg.StripeUnit
@@ -188,12 +215,28 @@ func (fs *FS) writePiece(clientID int, st *fileState, p subOp, done func()) {
 	srv := fs.serverFor(st, p.unit)
 	perform := func(release bool) {
 		fs.eng.Schedule(fs.Cfg.RPCLatency, func() {
+			// RPC arrival at a dead server: nothing answers, the client's
+			// timeout fires, and any stripe lock it held sits out its lease.
+			if srv.down {
+				fs.failWrite(key, release, done)
+				return
+			}
+			epoch := srv.epoch
 			srv.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) {
-				srv.write(fs, st, p, func() {
+				if srv.epoch != epoch {
+					// Crashed while the payload was in its NIC queue.
+					fs.failWrite(key, release, done)
+					return
+				}
+				srv.write(fs, st, p, func(err error) {
+					if err != nil {
+						fs.failWrite(key, release, done)
+						return
+					}
 					if release {
 						fs.release(key)
 					}
-					done()
+					done(nil)
 				})
 			})
 		})
@@ -205,8 +248,11 @@ func (fs *FS) writePiece(clientID int, st *fileState, p subOp, done func()) {
 	}
 }
 
-// write performs the disk I/O for one piece at the server.
-func (s *server) write(fs *FS, st *fileState, p subOp, done func()) {
+// write performs the disk I/O for one piece at the server. done receives a
+// non-nil error when the server crashes before the write is acknowledged
+// (detected by epoch comparison at disk completion — the in-flight
+// operation's ack died with the server).
+func (s *server) write(fs *FS, st *fileState, p subOp, done func(error)) {
 	key := stripeKey{file: st.id, unit: p.unit}
 	diskOff, ok := s.extent[key]
 	if !ok {
@@ -228,52 +274,124 @@ func (s *server) write(fs *FS, st *fileState, p subOp, done func()) {
 	s.bytesWritten += p.size
 	s.cOps.Inc()
 	s.cBytesW.Add(p.size)
-	s.dq.Submit(svc, func(sim.Time) { done() })
+	epoch := s.epoch
+	s.dq.Submit(svc, func(sim.Time) {
+		if s.epoch != epoch {
+			done(ErrServerDown)
+			return
+		}
+		done(nil)
+	})
 }
 
 // Read reads [off, off+size) and calls done at completion. Reads skip the
-// lock manager and RMW but follow the same network/disk path.
+// lock manager and RMW but follow the same network/disk path. Read
+// ignores server failures; fault-aware callers use ReadErr.
 func (c *Client) Read(f *File, off, size int64, done func()) {
+	if done == nil {
+		c.ReadErr(f, off, size, nil)
+		return
+	}
+	c.ReadErr(f, off, size, func(error) { done() })
+}
+
+// ReadErr is Read with failure reporting. A piece whose home server is
+// down is reconstructed from parity by a surviving neighbour at degraded
+// cost; done receives ErrServerDown only when no server can serve it.
+func (c *Client) ReadErr(f *File, off, size int64, done func(error)) {
 	if size <= 0 {
 		if done != nil {
-			c.fs.eng.Schedule(0, done)
+			c.fs.eng.Schedule(0, func() { done(nil) })
 		}
 		return
 	}
 	fs := c.fs
 	done = c.traceIOSpan("read", off, size, done)
 	pieces := split(off, size, fs.Cfg.StripeUnit)
+	var firstErr error
 	barrier := sim.NewBarrier(fs.eng, len(pieces), func(sim.Time) {
 		if done != nil {
-			done()
+			done(firstErr)
 		}
 	})
+	arrive := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		barrier.Arrive()
+	}
 	for _, p := range pieces {
 		p := p
 		srv := fs.serverFor(f.st, p.unit)
 		fs.eng.Schedule(fs.Cfg.RPCLatency, func() {
-			srv.read(fs, f.st, p, func() {
+			fs.readPiece(srv, f.st, p, func(err error) {
+				if err != nil {
+					arrive(err)
+					return
+				}
 				c.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ClientNetBW), func(sim.Time) {
-					barrier.Arrive()
+					arrive(nil)
 				})
 			})
 		})
 	}
 }
 
-func (s *server) read(fs *FS, st *fileState, p subOp, done func()) {
+// readPiece routes one read piece: to the home server when healthy (at
+// penalty cost while it rebuilds), to a surviving neighbour's parity
+// reconstruction when it is down, or to a timeout error when the whole
+// array is gone.
+func (fs *FS) readPiece(srv *server, st *fileState, p subOp, done func(error)) {
+	if srv.down {
+		alt := fs.survivor(srv)
+		if alt == nil {
+			fs.failOp(done)
+			return
+		}
+		fs.faults.DegradedReads++
+		fs.cDegraded.Inc()
+		fs.readDegraded(alt, srv, st, p, done)
+		return
+	}
+	if srv.rebuildUntil > fs.eng.Now() {
+		fs.faults.DegradedReads++
+		fs.cDegraded.Inc()
+		srv.read(fs, st, p, fs.degradedPenalty(), done)
+		return
+	}
+	srv.read(fs, st, p, 1, done)
+}
+
+// read serves one piece from the server's own disk; penalty > 1 models
+// parity reconstruction during the post-recovery rebuild window. done
+// receives a non-nil error when the server crashes mid-operation.
+func (s *server) read(fs *FS, st *fileState, p subOp, penalty float64, done func(error)) {
 	key := stripeKey{file: st.id, unit: p.unit}
 	diskOff, ok := s.extent[key]
 	if !ok {
 		// Reading a hole: no disk work.
-		s.dq.Submit(0, func(sim.Time) { done() })
+		s.dq.Submit(0, func(sim.Time) { done(nil) })
 		return
 	}
 	svc := s.dsk.Access(diskOff+p.offIn, p.size)
+	if penalty > 1 {
+		svc = sim.Time(float64(svc) * penalty)
+	}
 	s.bytesRead += p.size
 	s.cOps.Inc()
 	s.cBytesR.Add(p.size)
+	epoch := s.epoch
 	s.dq.Submit(svc, func(sim.Time) {
-		s.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) { done() })
+		if s.epoch != epoch {
+			fs.failOp(done)
+			return
+		}
+		s.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) {
+			if s.epoch != epoch {
+				fs.failOp(done)
+				return
+			}
+			done(nil)
+		})
 	})
 }

@@ -11,6 +11,15 @@
 // aggregate bandwidth collapses to a tiny fraction of the hardware. The
 // same hardware streams at full speed when each client appends to its own
 // file (N-N) — which is exactly the transformation PLFS performs.
+//
+// Servers can also fail: InjectFaults arms a sim.FaultPlan so object
+// storage servers crash and recover mid-run. A down server times out
+// in-flight and new operations (ErrServerDown after FailTimeout), holds
+// its stripe locks until the LeaseExpiry lease lapses, and — because the
+// stripes are parity-protected — keeps data readable through neighbors at
+// a DegradedPenalty reconstruction cost until the RebuildTime window after
+// recovery has drained. With no plan injected the fault machinery is
+// inert and the event trajectory is byte-identical to a build without it.
 package pfs
 
 import (
@@ -71,6 +80,32 @@ type Config struct {
 	// RMWPartialStripe: when true, a write that does not cover a full
 	// stripe unit forces the server to read the unit and write it back.
 	RMWPartialStripe bool
+
+	// Fault-tolerance knobs. They take effect only once a FaultPlan is
+	// injected (FS.InjectFaults); a fault-free run is bit-identical with
+	// any values here, so the layer is zero-cost when disabled.
+
+	// FailTimeout is how long a request to a crashed server waits before
+	// erroring back to the client (the RPC timeout). Zero defaults to
+	// 25ms — a typical aggressive OSS ping interval.
+	FailTimeout sim.Time
+
+	// LeaseExpiry is how long a stripe lock held by a failed write
+	// lingers before the lock manager reclaims it for waiters — the DLM
+	// lease granted by the dead server must time out before anyone else
+	// may touch the stripe. Zero reclaims immediately.
+	LeaseExpiry sim.Time
+
+	// RebuildTime is how long a recovered server spends reconstructing
+	// its objects from parity; reads of its stripes stay degraded until
+	// the rebuild completes. Zero means recovery is instant.
+	RebuildTime sim.Time
+
+	// DegradedPenalty multiplies the disk service time of reads that
+	// must reconstruct data from parity (server down or rebuilding):
+	// the surviving stripes plus parity are read and XOR-combined. Zero
+	// defaults to 4.
+	DegradedPenalty float64
 }
 
 // Validate reports a descriptive error for an unusable configuration.
@@ -164,12 +199,21 @@ type fileState struct {
 }
 
 type server struct {
+	idx  int
 	nic  *sim.Server
 	dsk  *disk.Disk
 	dq   *sim.Server // disk queue (capacity = DisksPerServer)
 	next int64       // next free byte on this server's disk
 	// extent maps (file, stripe unit) -> disk offset.
 	extent map[stripeKey]int64
+
+	// Fault state. epoch increments on every crash so that operations in
+	// flight when the server dies can detect, at completion time, that
+	// their acknowledgment was lost. rebuildUntil marks the end of the
+	// post-recovery parity rebuild window.
+	down         bool
+	epoch        int
+	rebuildUntil sim.Time
 
 	bytesWritten int64
 	bytesRead    int64
@@ -201,12 +245,23 @@ type FS struct {
 	metadataOps int64
 	lockRevokes int64
 
+	// Fault accounting (see faults.go).
+	faults FaultStats
+
 	// File-system-wide instrument handles (nil when uninstrumented).
 	cMeta      *obs.Counter
 	cRevokes   *obs.Counter
 	cLockWaits *obs.Counter
 	cRMW       *obs.Counter
 	hLockWait  *obs.Histogram
+
+	// Fault instrument handles (nil when uninstrumented).
+	cCrashes    *obs.Counter
+	cRecoveries *obs.Counter
+	cRebuilds   *obs.Counter
+	cFailedOps  *obs.Counter
+	cDegraded   *obs.Counter
+	cLeaseExp   *obs.Counter
 }
 
 // stripeLock is a FIFO mutex with an ownership-transfer penalty.
@@ -241,6 +296,7 @@ func New(eng *sim.Engine, cfg Config) *FS {
 	}
 	for i := 0; i < cfg.NumServers; i++ {
 		fs.servers = append(fs.servers, &server{
+			idx:    i,
 			nic:    sim.NewServer(eng, 1),
 			dsk:    disk.New(cfg.ServerDisk),
 			dq:     sim.NewServer(eng, cfg.DisksPerServer),
@@ -265,6 +321,13 @@ func (fs *FS) instrument() {
 	fs.cLockWaits = reg.Counter("pfs.lock.waits")
 	fs.cRMW = reg.Counter("pfs.rmw_ops")
 	fs.hLockWait = reg.Histogram("pfs.lock.wait_s", obs.TimeBuckets())
+	fs.cCrashes = reg.Counter("pfs.faults.crashes")
+	fs.cRecoveries = reg.Counter("pfs.faults.recoveries")
+	fs.cRebuilds = reg.Counter("pfs.faults.rebuilds")
+	fs.cFailedOps = reg.Counter("pfs.faults.failed_ops")
+	fs.cDegraded = reg.Counter("pfs.faults.degraded_reads")
+	fs.cLeaseExp = reg.Counter("pfs.faults.lease_expiries")
+	reg.GaugeFunc("pfs.faults.rebuild_busy_s", func() float64 { return float64(fs.faults.RebuildBusy) })
 	for i, s := range fs.servers {
 		name := fmt.Sprintf("pfs.oss%02d", i)
 		s.nic.Instrument(name + ".nic")

@@ -4,11 +4,13 @@
 // Argon scheduler, and the failure-trace generator.
 //
 // The kernel is a classic event-list engine: a virtual clock, a priority
-// queue of timestamped callbacks, and a handful of composable resources
-// (FIFO servers, token pools). Determinism is guaranteed by (a) a stable
-// tie-break on event insertion order and (b) explicit seeding of every
-// random source, so a simulation re-run with the same seed reproduces the
-// same trajectory bit for bit.
+// queue of timestamped callbacks, and a handful of composable pieces
+// layered on top — FIFO servers with bounded concurrency (Server),
+// completion barriers (Barrier), and a seedable crash/recovery schedule
+// (FaultPlan) that subsystems consume through the FaultSink interface.
+// Determinism is guaranteed by (a) a stable tie-break on event insertion
+// order and (b) explicit seeding of every random source, so a simulation
+// re-run with the same seed reproduces the same trajectory bit for bit.
 package sim
 
 import (

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// recordingSink logs transitions with their virtual timestamps.
+type recordingSink struct {
+	eng   *Engine
+	log   []string
+	times []Time
+}
+
+func (s *recordingSink) CrashTarget(t string) {
+	s.log = append(s.log, "crash "+t)
+	s.times = append(s.times, s.eng.Now())
+}
+
+func (s *recordingSink) RecoverTarget(t string) {
+	s.log = append(s.log, "recover "+t)
+	s.times = append(s.times, s.eng.Now())
+}
+
+func TestFaultPlanSchedulesCrashAndRecovery(t *testing.T) {
+	eng := NewEngine()
+	sink := &recordingSink{eng: eng}
+	plan := NewFaultPlan()
+	plan.Add("oss1", 5, 2)
+	plan.Add("oss0", 1, 0) // permanent
+	plan.Schedule(eng, sink)
+	eng.Run()
+
+	wantLog := []string{"crash oss0", "crash oss1", "recover oss1"}
+	wantTimes := []Time{1, 5, 7}
+	if !reflect.DeepEqual(sink.log, wantLog) {
+		t.Fatalf("log = %v, want %v", sink.log, wantLog)
+	}
+	if !reflect.DeepEqual(sink.times, wantTimes) {
+		t.Fatalf("times = %v, want %v", sink.times, wantTimes)
+	}
+}
+
+func TestFaultPlanEventsSortedStable(t *testing.T) {
+	plan := NewFaultPlan()
+	plan.Add("b", 3, 1)
+	plan.Add("a", 1, 0)
+	plan.Add("c", 3, 2) // same time as b: insertion order preserved
+	evs := plan.Events()
+	want := []FaultEvent{
+		{Target: "a", At: 1},
+		{Target: "b", At: 3, Downtime: 1},
+		{Target: "c", At: 3, Downtime: 2},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("events = %v, want %v", evs, want)
+	}
+}
+
+func TestNilAndEmptyFaultPlansAreNoOps(t *testing.T) {
+	eng := NewEngine()
+	sink := &recordingSink{eng: eng}
+	var nilPlan *FaultPlan
+	if nilPlan.Len() != 0 || nilPlan.Events() != nil {
+		t.Fatal("nil plan not empty")
+	}
+	nilPlan.Schedule(eng, sink)
+	NewFaultPlan().Schedule(eng, sink)
+	if eng.Pending() != 0 {
+		t.Fatalf("empty plans scheduled %d events", eng.Pending())
+	}
+	if eng.Run() != 0 || len(sink.log) != 0 {
+		t.Fatal("empty plans produced transitions")
+	}
+}
+
+func TestFaultPlanInstrumentsInjections(t *testing.T) {
+	eng := NewEngine()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	eng.Instrument(reg, tr)
+	plan := NewFaultPlan().Add("oss0", 1, 1).Add("oss1", 2, 0)
+	plan.Schedule(eng, &recordingSink{eng: eng})
+	eng.Run()
+	s := reg.Snapshot()
+	if got := s.Counters["sim.faults.injected"]; got != 2 {
+		t.Fatalf("sim.faults.injected = %d, want 2", got)
+	}
+	if got := s.Counters["sim.faults.recovered"]; got != 1 {
+		t.Fatalf("sim.faults.recovered = %d, want 1", got)
+	}
+	if tr.Len() != 3 { // 2 crashes + 1 recovery
+		t.Fatalf("trace events = %d, want 3", tr.Len())
+	}
+}
+
+func TestFaultPlanNegativeTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative fault time")
+		}
+	}()
+	NewFaultPlan().Add("oss0", -1, 0)
+}

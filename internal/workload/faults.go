@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// This file runs checkpoint workloads under injected storage failures —
+// the harness validating the analytic checkpoint-interval models in
+// internal/failure against a simulation whose servers actually crash. A
+// run alternates compute phases with checkpoint phases; each rank's
+// failed writes retry with capped exponential backoff and are abandoned
+// (counted, never silently lost) when the error persists, so the run
+// completes even through permanent failures and reports the
+// application-visible slowdown.
+
+// FaultSpec describes a multi-checkpoint run under a fault plan.
+type FaultSpec struct {
+	// Spec is the checkpoint phase every round issues.
+	Spec Spec
+
+	// Checkpoints is the number of compute+checkpoint rounds.
+	Checkpoints int
+
+	// ComputeTime is the useful work simulated between checkpoints — the
+	// checkpoint interval tau of the Daly model.
+	ComputeTime sim.Time
+
+	// Plan is the fault schedule injected into the file system. Nil runs
+	// fault-free: the event trajectory is then identical to the same
+	// phases run without the fault layer at all.
+	Plan *sim.FaultPlan
+
+	// MaxRetries bounds per-op retries of a failed write or read before
+	// the op is dropped. Zero drops on the first error.
+	MaxRetries int
+
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt, capped at MaxBackoff (default RetryBackoff).
+	RetryBackoff sim.Time
+	MaxBackoff   sim.Time
+}
+
+// Validate reports problems with the spec.
+func (s FaultSpec) Validate() error {
+	if err := s.Spec.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case s.Checkpoints < 1:
+		return fmt.Errorf("workload: Checkpoints %d < 1", s.Checkpoints)
+	case s.ComputeTime < 0 || s.RetryBackoff < 0 || s.MaxBackoff < 0:
+		return fmt.Errorf("workload: negative time in fault spec")
+	case s.MaxRetries < 0:
+		return fmt.Errorf("workload: MaxRetries %d < 0", s.MaxRetries)
+	}
+	return nil
+}
+
+// faulty reports whether any fault machinery is active; a non-faulty run
+// must stay byte-identical to RunProgramsProbed of the same phases, so
+// even the fault counters are only registered when this is true.
+func (s FaultSpec) faulty() bool {
+	return s.Plan.Len() > 0 || s.MaxRetries > 0
+}
+
+// FaultResult reports a fault-injected checkpoint run. The embedded
+// Result's Elapsed sums the checkpoint phases (the application-visible
+// checkpoint cost); compute time is excluded from it.
+type FaultResult struct {
+	Result
+
+	// Checkpoints and ComputeTime echo the spec.
+	Checkpoints int
+	ComputeTime sim.Time
+
+	// WallClock is the full simulated duration: setup, compute phases,
+	// and checkpoint phases.
+	WallClock sim.Time
+
+	// Utilization is useful compute divided by wall clock — directly
+	// comparable to failure.Daly.Utilization at tau = ComputeTime.
+	Utilization float64
+
+	// Retries counts write/read attempts repeated after a failure;
+	// DroppedOps counts ops abandoned after MaxRetries.
+	Retries    int64
+	DroppedOps int64
+
+	// Faults is the file system's failure-layer accounting.
+	Faults pfs.FaultStats
+}
+
+// RunFaults executes Checkpoints rounds of compute followed by the
+// checkpoint phase from spec.Spec on a fresh file system, with
+// spec.Plan's failures injected. Determinism carries through: the same
+// cfg, spec, and plan produce byte-identical metrics snapshots.
+func RunFaults(cfg pfs.Config, fspec FaultSpec, reg *obs.Registry, tr *obs.Tracer) FaultResult {
+	if err := fspec.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	eng.Instrument(reg, tr)
+	fs := pfs.New(eng, cfg)
+	fs.InjectFaults(fspec.Plan)
+
+	// Fault-path instruments exist only on faulty runs so that a
+	// fault-free run's snapshot matches RunProgramsProbed exactly.
+	var cRetries, cDropped, cRounds *obs.Counter
+	if fspec.faulty() && reg != nil {
+		cRetries = reg.Counter("workload.ckpt.retries")
+		cDropped = reg.Counter("workload.ckpt.dropped_ops")
+		cRounds = reg.Counter("workload.ckpt.rounds")
+	}
+
+	spec := fspec.Spec
+	progs := make([]Program, spec.Ranks)
+	for r := 0; r < spec.Ranks; r++ {
+		progs[r] = Program{Creates: filesFor(spec, r), Ops: rankOps(spec, cfg.StripeUnit, r)}
+	}
+	clients := make([]*pfs.Client, len(progs))
+	handles := make([]map[string]*pfs.File, len(progs))
+	for r := range clients {
+		clients[r] = fs.NewClient(r)
+		handles[r] = make(map[string]*pfs.File)
+	}
+
+	result := FaultResult{Checkpoints: fspec.Checkpoints, ComputeTime: fspec.ComputeTime}
+	maxBackoff := fspec.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = fspec.RetryBackoff
+	}
+
+	runPhase := func(phaseDone func(elapsed sim.Time)) {
+		phaseStart := eng.Now()
+		finished := sim.NewBarrier(eng, len(progs), func(at sim.Time) {
+			phaseDone(at - phaseStart)
+		})
+		for r := range progs {
+			r := r
+			ops := progs[r].Ops
+			var issue func(i int)
+			issue = func(i int) {
+				if i == len(ops) {
+					finished.Arrive()
+					return
+				}
+				o := ops[i]
+				perform := func(h *pfs.File) {
+					attempt := 0
+					backoff := fspec.RetryBackoff
+					var try func()
+					complete := func(err error) {
+						if err == nil {
+							issue(i + 1)
+							return
+						}
+						if attempt < fspec.MaxRetries {
+							attempt++
+							result.Retries++
+							cRetries.Inc()
+							d := backoff
+							if backoff *= 2; backoff > maxBackoff {
+								backoff = maxBackoff
+							}
+							eng.Schedule(d, try)
+							return
+						}
+						// Persistent failure: abandon the op and move on —
+						// the degraded checkpoint is accounted, not hung.
+						result.DroppedOps++
+						cDropped.Inc()
+						issue(i + 1)
+					}
+					try = func() {
+						if o.Read {
+							clients[r].ReadErr(h, o.Off, o.Size, complete)
+						} else {
+							clients[r].WriteErr(h, o.Off, o.Size, complete)
+						}
+					}
+					try()
+				}
+				withCPU := func(h *pfs.File) {
+					if o.CPU > 0 {
+						eng.Schedule(o.CPU, func() { perform(h) })
+						return
+					}
+					perform(h)
+				}
+				f, ok := handles[r][o.File]
+				if !ok {
+					clients[r].Open(o.File, func(h *pfs.File) {
+						handles[r][o.File] = h
+						withCPU(h)
+					})
+					return
+				}
+				withCPU(f)
+			}
+			issue(0)
+		}
+	}
+
+	round := 0
+	var startRound func()
+	startRound = func() {
+		if round == fspec.Checkpoints {
+			result.WallClock = eng.Now()
+			return
+		}
+		begin := func() {
+			cRounds.Inc()
+			runPhase(func(elapsed sim.Time) {
+				result.Elapsed += elapsed
+				round++
+				startRound()
+			})
+		}
+		if fspec.ComputeTime > 0 {
+			eng.Schedule(fspec.ComputeTime, begin)
+		} else {
+			begin()
+		}
+	}
+
+	var toCreate int
+	for r := range progs {
+		toCreate += len(progs[r].Creates)
+	}
+	startAll := func() {
+		result.SetupElapsed = eng.Now()
+		startRound()
+	}
+	if toCreate == 0 {
+		startAll()
+	} else {
+		created := sim.NewBarrier(eng, toCreate, func(sim.Time) { startAll() })
+		for r := range progs {
+			for _, name := range progs[r].Creates {
+				clients[r].Create(name, func(*pfs.File) { created.Arrive() })
+			}
+		}
+	}
+
+	eng.Run()
+	result.Spec = spec
+	result.TotalBytes = int64(spec.Ranks) * spec.BytesPerRank * int64(fspec.Checkpoints)
+	if result.Elapsed > 0 {
+		result.Bandwidth = float64(result.TotalBytes) / float64(result.Elapsed)
+	}
+	result.MetadataOps = fs.MetadataOps()
+	result.Faults = fs.FaultStats()
+	if result.WallClock > 0 {
+		result.Utilization = float64(fspec.ComputeTime) * float64(fspec.Checkpoints) / float64(result.WallClock)
+	}
+	return result
+}
