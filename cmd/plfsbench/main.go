@@ -11,6 +11,7 @@
 //	plfsbench -indexbench -entries 1048576 -writers 64
 //	plfsbench -sweep -json BENCH_plfs.json
 //	plfsbench -pattern nn -mtbf 8 -checkpoints 4 -compute 0.5
+//	plfsbench -corrupt-rate 20 -scrub 600 -verify=false
 package main
 
 import (
@@ -195,6 +196,44 @@ func runIndexBench(entries, writers, ingestWorkers int, reg *obs.Registry) index
 	return res
 }
 
+// runCorrupt executes the single-pattern checkpoint under silent data
+// corruption: latent sector errors arrive on the servers at the given
+// rate over a one-hour dwell between write and read-back, optionally
+// swept by periodic scrubs, with read-path checksums toggled by -verify.
+func runCorrupt(cfg pfs.Config, p workload.Pattern, ranks int, mbEach, record int64,
+	ratePerHour, scrubSec float64, verify bool, seed int64, reg *obs.Registry, tr *obs.Tracer) {
+	const dwell = 3600.0 // seconds of exposure between checkpoint and read-back
+	cfg.Checksums = verify
+	perServer := int64(ranks) * (mbEach << 20) / int64(cfg.NumServers)
+	events := failure.DrawLSE(failure.LSESpec{
+		Disks:         cfg.NumServers,
+		CapacityBytes: perServer,
+		MTBC:          dwell / ratePerHour,
+		Shape:         1,
+		TornFraction:  0.2,
+		Horizon:       dwell,
+	}, seed)
+	res := workload.RunIntegrity(cfg, workload.IntegritySpec{
+		Spec: workload.Spec{
+			Ranks: ranks, BytesPerRank: mbEach << 20, RecordSize: record,
+			Pattern: p, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
+		},
+		Events:        events,
+		Expose:        sim.Time(dwell),
+		ScrubInterval: sim.Time(scrubSec),
+	}, reg, tr)
+	st := res.Stats
+	fmt.Printf("file system:   %s (%d servers), %.2f corruptions/drive-hour, checksums %v\n",
+		cfg.Name, cfg.NumServers, ratePerHour, verify)
+	fmt.Printf("pattern:       %s, %d ranks x %d MiB, %.0f s dwell\n", p, ranks, mbEach, dwell)
+	fmt.Printf("write:         %v, %.1f MB/s aggregate\n", res.Write.Elapsed, res.Write.Bandwidth/1e6)
+	fmt.Printf("read-back:     %v, %d ops flagged\n", res.ReadElapsed, res.FlaggedReads)
+	fmt.Printf("corruption:    %d injected, %d unrepaired at read-back\n", st.Injected, res.UnrepairedAtRead)
+	fmt.Printf("scrub:         %d passes, %d stripe units verified\n", res.ScrubPasses, st.ScrubbedUnits)
+	fmt.Printf("integrity:     %d detected, %d repaired, %d unrecoverable, %d silent reads\n",
+		st.Detected, st.Repaired, st.Unrecoverable, st.SilentReads)
+}
+
 // runFaulty executes the single-pattern checkpoint under a deterministic
 // fault plan: servers crash with exponential interarrivals of the given
 // MTBF while the application alternates compute and checkpoint rounds,
@@ -265,6 +304,9 @@ func main() {
 		writers    = flag.Int("writers", 64, "indexbench: writer (rank) count")
 		ingestW    = flag.Int("ingest-workers", 0, "indexbench: parallel ingest workers (0 = GOMAXPROCS)")
 		mtbf       = flag.Float64("mtbf", 0, "per-server MTBF in seconds; > 0 injects OSS crashes into the (non-sweep) run")
+		corrupt    = flag.Float64("corrupt-rate", 0, "silent corruptions per drive-hour; > 0 runs write/dwell/read-back under latent sector errors")
+		scrubSec   = flag.Float64("scrub", 0, "background scrub interval in seconds during the -corrupt-rate dwell (0 = no scrubbing)")
+		verify     = flag.Bool("verify", true, "verify per-stripe-unit checksums on read during -corrupt-rate runs")
 		downtime   = flag.Float64("downtime", 0.5, "crash downtime in seconds (0 = permanent failure)")
 		faultSeed  = flag.Int64("fault-seed", 42, "seed for the deterministic fault draw")
 		ckpts      = flag.Int("checkpoints", 4, "compute+checkpoint rounds under -mtbf")
@@ -344,6 +386,10 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown -pattern %q\n", *pat)
 		os.Exit(2)
+	}
+	if *corrupt > 0 {
+		runCorrupt(cfg, p, *ranks, *mbEach, *record, *corrupt, *scrubSec, *verify, *faultSeed, reg, tr)
+		return
 	}
 	if *mtbf > 0 {
 		runFaulty(cfg, p, *ranks, *mbEach, *record, *mtbf, *downtime, *computeSec, *ckpts, *faultSeed, reg, tr)

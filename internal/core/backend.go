@@ -46,6 +46,14 @@ type BackendFile interface {
 	Close() error
 }
 
+// Truncator is an optional BackendFile capability: cutting a file to a
+// shorter length. plfsck uses it to repair torn log tails; backends
+// without it are still recoverable (the torn bytes are simply ignored
+// on every subsequent open).
+type Truncator interface {
+	Truncate(size int64) error
+}
+
 // Errors returned by backends and container operations.
 var (
 	ErrNotExist = errors.New("plfs: no such file or directory")
@@ -173,6 +181,27 @@ func (b *MemBackend) ReadDir(path string) ([]string, error) {
 	return names, nil
 }
 
+// CorruptRange flips the high bit of n bytes starting at off in the
+// named file, simulating silent media corruption beneath the container.
+// Test-only helper: real corruption arrives through the disk model.
+func (b *MemBackend) CorruptRange(path string, off, n int64) error {
+	b.mu.Lock()
+	f, ok := b.files[clean(path)]
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 || n < 0 || off+n > int64(len(f.data)) {
+		return fmt.Errorf("plfs: corrupt range [%d,%d) outside %d-byte file %s", off, off+n, len(f.data), path)
+	}
+	for i := off; i < off+n; i++ {
+		f.data[i] ^= 0x80
+	}
+	return nil
+}
+
 // Exists reports whether path names a file or directory.
 func (b *MemBackend) Exists(path string) bool {
 	b.mu.Lock()
@@ -216,6 +245,19 @@ func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
 		return n, io.EOF
 	}
 	return n, nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	if h.closed {
+		return ErrClosed
+	}
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	if size < 0 || size > int64(len(h.f.data)) {
+		return fmt.Errorf("plfs: truncate to %d outside %d-byte file", size, len(h.f.data))
+	}
+	h.f.data = h.f.data[:size]
+	return nil
 }
 
 func (h *memHandle) Size() int64 {

@@ -44,6 +44,21 @@ type Options struct {
 	// Retry governs writer recovery from backend append errors (see
 	// faults.go). The zero value surfaces the first error unchanged.
 	Retry RetryPolicy
+
+	// Framed selects the v2 checksummed log format at CreateContainer:
+	// every data and index record is length-prefixed and crc32c-trailed
+	// (see frame.go), enabling VerifyOnOpen recovery. The format is
+	// recorded in the access file, so an existing container keeps the
+	// format it was created with regardless of this flag.
+	Framed bool
+
+	// VerifyOnOpen runs the plfsck recovery pass while OpenReader scans
+	// a v2 container: index frames failing their checksum are dropped,
+	// torn log tails truncated (where the backend supports Truncator),
+	// and data frames failing their checksum quarantined — reads
+	// overlapping them return ErrCorruptExtent. A v1 container has no
+	// checksums to verify, so the flag is inert there.
+	VerifyOnOpen bool
 }
 
 // DefaultOptions matches the PLFS defaults: 32 hostdirs, no write-time
@@ -81,6 +96,11 @@ type Container struct {
 	opts    Options
 	clock   atomic.Uint64
 
+	// version is the container's negotiated log format: 1 appends bare
+	// records (the legacy byte-identical path), 2 frames every record
+	// with a length prefix and crc32c trailer.
+	version int
+
 	mu      sync.Mutex
 	writers map[int32]*Writer
 
@@ -98,6 +118,14 @@ type Container struct {
 	cFailovers     *obs.Counter
 	cDropped       *obs.Counter
 	hReadFanout    *obs.Histogram
+
+	// Integrity instrument handles, registered only under VerifyOnOpen
+	// so verification-free snapshots stay byte-identical.
+	cFramesOK   *obs.Counter
+	cDroppedRec *obs.Counter
+	cTornBytes  *obs.Counter
+	cQuarExt    *obs.Counter
+	cQuarReads  *obs.Counter
 }
 
 // instrument wires the container's probe handles from Options.Metrics.
@@ -124,6 +152,13 @@ func (c *Container) instrument() *Container {
 	c.cFailovers = reg.Counter("plfs.write.failovers")
 	c.cDropped = reg.Counter("plfs.write.dropped_bytes")
 	c.hReadFanout = reg.Histogram("plfs.read.fanout", obs.CountBuckets())
+	if c.opts.VerifyOnOpen {
+		c.cFramesOK = reg.Counter("plfs.integrity.frames_verified")
+		c.cDroppedRec = reg.Counter("plfs.integrity.records_dropped")
+		c.cTornBytes = reg.Counter("plfs.integrity.torn_bytes")
+		c.cQuarExt = reg.Counter("plfs.integrity.quarantined_extents")
+		c.cQuarReads = reg.Counter("plfs.integrity.quarantined_reads")
+	}
 	return c
 }
 
@@ -145,22 +180,52 @@ func CreateContainer(b Backend, path string, opts Options) (*Container, error) {
 	}
 	// The access file marks the directory as a PLFS container (it is what
 	// makes the container look like a regular file through the FUSE
-	// interface).
+	// interface) and records the negotiated log format version.
+	version := 1
+	if opts.Framed {
+		version = 2
+	}
 	f, err := b.Create(path + "/" + accessFile)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Write([]byte("plfs container v1\n")); err != nil {
+	if _, err := f.Write([]byte(fmt.Sprintf("plfs container v%d\n", version))); err != nil {
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
 		return nil, err
 	}
-	c := &Container{backend: b, path: path, opts: opts, writers: make(map[int32]*Writer)}
+	c := &Container{backend: b, path: path, opts: opts, version: version, writers: make(map[int32]*Writer)}
 	return c.instrument(), nil
 }
 
-// OpenContainer opens an existing container.
+// containerVersion parses the access file's signature line. Legacy
+// containers predating versioned signatures read as v1.
+func containerVersion(b Backend, path string) (int, error) {
+	f, err := b.Open(path + "/" + accessFile)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	buf, err := readAll(f, "access file")
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) == 0 {
+		return 1, nil
+	}
+	var v int
+	if n, err := fmt.Sscanf(string(buf), "plfs container v%d", &v); err != nil || n != 1 {
+		return 0, fmt.Errorf("plfs: unrecognized container signature %q", string(buf))
+	}
+	if v < 1 || v > 2 {
+		return 0, fmt.Errorf("plfs: unsupported container version %d", v)
+	}
+	return v, nil
+}
+
+// OpenContainer opens an existing container, negotiating the log format
+// from its access file.
 func OpenContainer(b Backend, path string, opts Options) (*Container, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -168,7 +233,11 @@ func OpenContainer(b Backend, path string, opts Options) (*Container, error) {
 	if !b.Exists(path + "/" + accessFile) {
 		return nil, fmt.Errorf("%w: %s is not a PLFS container", ErrNotExist, path)
 	}
-	c := &Container{backend: b, path: path, opts: opts, writers: make(map[int32]*Writer)}
+	version, err := containerVersion(b, path)
+	if err != nil {
+		return nil, err
+	}
+	c := &Container{backend: b, path: path, opts: opts, version: version, writers: make(map[int32]*Writer)}
 	return c.instrument(), nil
 }
 
@@ -258,23 +327,39 @@ func (w *Writer) WriteAt(buf []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("plfs: negative offset %d", off)
 	}
-	n, err := w.data.Write(buf)
-	if err != nil {
-		// Retry in place, then fail over to a new log generation (see
-		// faults.go). Recovery adjusts dataOff for dropped bytes and
-		// generation resets, so the entry below stays truthful.
-		if n, err = w.recoverDataAppendLocked(buf, n, err); err != nil {
-			return 0, err
+	var payloadAt int64
+	if w.c.version >= 2 {
+		// v2: one [len][payload][crc32c] frame per write; the index entry
+		// names the payload start, so reads are frame-oblivious.
+		frame := appendFrame(make([]byte, 0, frameOverhead+len(buf)), buf)
+		n, err := w.data.Write(frame)
+		if err != nil {
+			if err = w.recoverFramedAppendLocked(frame, n, err); err != nil {
+				return 0, err
+			}
 		}
+		payloadAt = w.dataOff + frameHeaderSize
+		w.dataOff += int64(len(frame))
+	} else {
+		n, err := w.data.Write(buf)
+		if err != nil {
+			// Retry in place, then fail over to a new log generation (see
+			// faults.go). Recovery adjusts dataOff for dropped bytes and
+			// generation resets, so the entry below stays truthful.
+			if n, err = w.recoverDataAppendLocked(buf, n, err); err != nil {
+				return 0, err
+			}
+		}
+		payloadAt = w.dataOff
+		w.dataOff += int64(len(buf))
 	}
 	entry := IndexEntry{
 		LogicalOffset: off,
 		Length:        int64(len(buf)),
 		Writer:        w.logID,
-		LogOffset:     w.dataOff,
+		LogOffset:     payloadAt,
 		Timestamp:     w.c.clock.Add(1),
 	}
-	w.dataOff += int64(len(buf))
 	w.nWrites++
 	w.bytesData += int64(len(buf))
 	w.c.cWrites.Inc()
@@ -299,11 +384,20 @@ func (w *Writer) WriteAt(buf []byte, off int64) (int, error) {
 }
 
 func (w *Writer) appendEntryLocked(e IndexEntry) error {
-	var rec [indexEntrySize]byte
-	e.encode(rec[:])
-	if _, err := w.index.Write(rec[:]); err != nil {
-		if err = w.recoverIndexAppendLocked(rec[:], err); err != nil {
-			return err
+	if w.c.version >= 2 {
+		frame := encodeEntryRecord(e, true)
+		if _, err := w.index.Write(frame); err != nil {
+			if err = w.recoverIndexAppendLocked(frame, err); err != nil {
+				return err
+			}
+		}
+	} else {
+		var rec [indexEntrySize]byte
+		e.encode(rec[:])
+		if _, err := w.index.Write(rec[:]); err != nil {
+			if err = w.recoverIndexAppendLocked(rec[:], err); err != nil {
+				return err
+			}
 		}
 	}
 	w.nEntries++
@@ -372,6 +466,14 @@ type Reader struct {
 	index *GlobalIndex
 	data  map[int32]BackendFile
 
+	// quar holds, per data log, the byte ranges plfsck quarantined —
+	// payloads of frames whose checksum failed. Reads overlapping one
+	// return ErrCorruptExtent. Nil unless VerifyOnOpen found damage.
+	quar map[int32][]logRange
+
+	// fsck is the VerifyOnOpen recovery report (nil when no pass ran).
+	fsck *FsckReport
+
 	// scratch is the steady-state piece buffer: ReadAt claims it with an
 	// atomic swap and returns it when done, so repeated reads allocate
 	// nothing while concurrent reads safely fall back to a fresh buffer.
@@ -384,22 +486,60 @@ type indexLogRef struct {
 	id      int32
 }
 
-// ingestLog decodes one writer's index log and opens its data log.
-func (c *Container) ingestLog(ref indexLogRef) ([]IndexEntry, BackendFile, error) {
+// ingestLog decodes one writer's index log and opens its data log. For a
+// v2 container it verifies index frames — strictly by default, leniently
+// (dropping damaged frames, truncating torn tails, quarantining data
+// extents) under VerifyOnOpen, reporting repairs through the returned
+// logFsck (nil for v1 or a clean strict pass).
+func (c *Container) ingestLog(ref indexLogRef) ([]IndexEntry, BackendFile, *logFsck, error) {
 	idx, err := c.backend.Open(fmt.Sprintf("%s/%s%d", ref.hostdir, indexPrefix, ref.id))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	es, err := readIndexLog(idx)
+	var es []IndexEntry
+	var lf *logFsck
+	if c.version < 2 {
+		es, err = readIndexLog(idx)
+	} else {
+		var buf []byte
+		if buf, err = readAll(idx, "index log"); err == nil {
+			if c.opts.VerifyOnOpen {
+				var dropped, torn int64
+				es, dropped, torn, err = decodeFramedIndexLog(buf, false)
+				lf = &logFsck{id: ref.id, frames: int64(len(es)) + dropped, dropped: dropped, torn: torn}
+				if torn > 0 {
+					truncateTail(idx, int64(len(buf))-torn)
+				}
+			} else {
+				es, _, _, err = decodeFramedIndexLog(buf, true)
+			}
+		}
+	}
 	idx.Close()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	df, err := c.backend.Open(fmt.Sprintf("%s/%s%d", ref.hostdir, dataPrefix, ref.id))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return es, df, nil
+	if lf != nil {
+		// Sweep the data log's frames too: quarantine checksum failures,
+		// truncate the torn tail a crashed append left behind.
+		buf, err := readAll(df, "data log")
+		if err != nil {
+			df.Close()
+			return nil, nil, nil, err
+		}
+		quarantined, frames, clean := verifyDataFrames(buf)
+		lf.quarantined = quarantined
+		lf.frames += frames
+		if torn := int64(len(buf)) - clean; torn > 0 {
+			lf.torn += torn
+			truncateTail(df, clean)
+		}
+	}
+	return es, df, lf, nil
 }
 
 // OpenReader builds the merged read view. Any live writers should Sync (or
@@ -428,14 +568,15 @@ func (c *Container) OpenReader() (*Reader, error) {
 
 	perLog := make([][]IndexEntry, len(refs))
 	files := make([]BackendFile, len(refs))
+	fscks := make([]*logFsck, len(refs))
 	if workers := c.opts.ingestWorkers(len(refs)); workers <= 1 {
 		for t, ref := range refs {
-			es, df, err := c.ingestLog(ref)
+			es, df, lf, err := c.ingestLog(ref)
 			if err != nil {
 				closeAll(files)
 				return nil, err
 			}
-			perLog[t], files[t] = es, df
+			perLog[t], files[t], fscks[t] = es, df, lf
 		}
 	} else {
 		var (
@@ -454,13 +595,13 @@ func (c *Container) OpenReader() (*Reader, error) {
 					if t >= len(refs) {
 						return
 					}
-					es, df, err := c.ingestLog(refs[t])
+					es, df, lf, err := c.ingestLog(refs[t])
 					if err != nil {
 						errOnce.Do(func() { firstErr = err })
 						failed.Store(true)
 						return
 					}
-					perLog[t], files[t] = es, df
+					perLog[t], files[t], fscks[t] = es, df, lf
 				}
 			}()
 		}
@@ -488,7 +629,36 @@ func (c *Container) OpenReader() (*Reader, error) {
 	c.cMergedEntries.Add(int64(gi.NumEntries()))
 	c.cMergedExtents.Add(int64(gi.NumExtents()))
 	c.cIngestLogs.Add(int64(len(refs)))
-	return &Reader{c: c, index: gi, data: data}, nil
+	r := &Reader{c: c, index: gi, data: data}
+	if c.opts.VerifyOnOpen && c.version >= 2 {
+		// Merge the per-log fsck results (populated in ref order, so the
+		// report is identical for any worker count).
+		report := &FsckReport{IndexLogs: len(refs), DataLogs: len(refs)}
+		for _, lf := range fscks {
+			if lf == nil {
+				continue
+			}
+			report.FramesVerified += lf.frames
+			report.RecordsDropped += lf.dropped
+			report.TornBytes += lf.torn
+			report.QuarantinedExtents += len(lf.quarantined)
+			for _, q := range lf.quarantined {
+				report.QuarantinedBytes += q.end - q.off
+			}
+			if len(lf.quarantined) > 0 {
+				if r.quar == nil {
+					r.quar = make(map[int32][]logRange)
+				}
+				r.quar[lf.id] = lf.quarantined
+			}
+		}
+		c.cFramesOK.Add(report.FramesVerified)
+		c.cDroppedRec.Add(report.RecordsDropped)
+		c.cTornBytes.Add(report.TornBytes)
+		c.cQuarExt.Add(int64(report.QuarantinedExtents))
+		r.fsck = report
+	}
+	return r, nil
 }
 
 // closeAll releases whichever backend files a failed ingest already opened.
@@ -505,6 +675,10 @@ func (r *Reader) Size() int64 { return r.index.Size() }
 
 // Index exposes the merged index (read-only use).
 func (r *Reader) Index() *GlobalIndex { return r.index }
+
+// FsckReport returns the VerifyOnOpen recovery report, or nil when no
+// verification pass ran (v1 container or the option off).
+func (r *Reader) FsckReport() *FsckReport { return r.fsck }
 
 // ReadAt fills buf from logical offset off. Holes read as zeros. It
 // returns io.EOF when the range extends past the logical size, matching
@@ -567,6 +741,13 @@ func (r *Reader) readPieces(buf []byte, off int64, pieces []Piece) error {
 		df, ok := r.data[p.Writer]
 		if !ok {
 			return fmt.Errorf("plfs: index references missing data log for writer %d", p.Writer)
+		}
+		for _, q := range r.quar[p.Writer] {
+			if p.LogOff < q.end && q.off < p.LogOff+p.Length {
+				r.c.cQuarReads.Inc()
+				return fmt.Errorf("%w: writer %d log bytes [%d,%d)",
+					ErrCorruptExtent, p.Writer, q.off, q.end)
+			}
 		}
 		for got := 0; got < len(dst); {
 			n, err := df.ReadAt(dst[got:], p.LogOff+int64(got))

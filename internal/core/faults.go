@@ -217,13 +217,47 @@ func (w *Writer) failoverLocked() error {
 	w.faults.Failovers++
 	w.c.cFailovers.Inc()
 	if pending != nil {
-		var rec [indexEntrySize]byte
-		pending.encode(rec[:])
-		if _, err := w.index.Write(rec[:]); err != nil {
+		rec := encodeEntryRecord(*pending, w.c.version >= 2)
+		if _, err := w.index.Write(rec); err != nil {
 			return fmt.Errorf("plfs: writer %d gen %d pending entry: %w", w.id, gen, err)
 		}
 		w.nEntries++
 		w.c.cIndexEntries.Inc()
+	}
+	return nil
+}
+
+// recoverFramedAppendLocked retries a failed framed (v2) data-log append.
+// A frame is only usable if it lands whole: once the backend admits to a
+// partial append, retrying in place would interleave fragments of two
+// frame copies, so the writer accounts the torn bytes (plfsck truncates
+// or ignores them on a later open), fails over to a fresh generation,
+// and appends the frame there. Only clean zero-byte failures are retried
+// in place.
+func (w *Writer) recoverFramedAppendLocked(frame []byte, wrote int, err error) error {
+	pol := w.c.opts.Retry
+	if !pol.enabled() {
+		return err
+	}
+	delay := pol.BaseBackoff
+	for attempt := 0; wrote == 0 && attempt < pol.MaxRetries; attempt++ {
+		delay = w.backoffLocked(delay)
+		w.faults.Retries++
+		w.c.cRetries.Inc()
+		n, rerr := w.data.Write(frame)
+		if rerr == nil {
+			return nil
+		}
+		wrote, err = n, rerr
+	}
+	w.dropLocked(wrote)
+	if ferr := w.failoverLocked(); ferr != nil {
+		return fmt.Errorf("plfs: writer %d failover after %v: %w", w.id, err, ferr)
+	}
+	n, rerr := w.data.Write(frame)
+	if rerr != nil {
+		w.dropLocked(n)
+		return fmt.Errorf("plfs: writer %d gen %d data append: %w", w.id, w.gen, rerr)
 	}
 	return nil
 }

@@ -40,15 +40,13 @@ func decodeEntry(buf []byte) IndexEntry {
 	}
 }
 
-// readIndexLog decodes every entry in an index log. ReadAt is retried
-// until the whole log is in memory: a backend may legally return fewer
-// bytes than asked alongside a nil or io.EOF error, and silently decoding
-// a partial buffer would fabricate zero entries.
-func readIndexLog(f BackendFile) ([]IndexEntry, error) {
+// readAll reads an entire backend file into memory. ReadAt is retried
+// until the whole file is in: a backend may legally return fewer bytes
+// than asked alongside a nil or io.EOF error, and silently accepting a
+// partial buffer would fabricate content. what names the file's role in
+// error messages ("index log", "data log", "access file").
+func readAll(f BackendFile, what string) ([]byte, error) {
 	size := f.Size()
-	if size%indexEntrySize != 0 {
-		return nil, fmt.Errorf("plfs: corrupt index log: %d bytes not a record multiple", size)
-	}
 	buf := make([]byte, size)
 	for got := int64(0); got < size; {
 		n, err := f.ReadAt(buf[got:], got)
@@ -58,12 +56,25 @@ func readIndexLog(f BackendFile) ([]IndexEntry, error) {
 		}
 		switch {
 		case err == io.EOF:
-			return nil, fmt.Errorf("plfs: short index log read: %d of %d bytes", got, size)
+			return nil, fmt.Errorf("plfs: short %s read: %d of %d bytes", what, got, size)
 		case err != nil:
 			return nil, err
 		case n == 0:
-			return nil, fmt.Errorf("plfs: index log read stalled at %d of %d bytes: %w", got, size, io.ErrNoProgress)
+			return nil, fmt.Errorf("plfs: %s read stalled at %d of %d bytes: %w", what, got, size, io.ErrNoProgress)
 		}
+	}
+	return buf, nil
+}
+
+// readIndexLog decodes every entry in a v1 (unframed) index log.
+func readIndexLog(f BackendFile) ([]IndexEntry, error) {
+	size := f.Size()
+	if size%indexEntrySize != 0 {
+		return nil, fmt.Errorf("plfs: corrupt index log: %d bytes not a record multiple", size)
+	}
+	buf, err := readAll(f, "index log")
+	if err != nil {
+		return nil, err
 	}
 	entries := make([]IndexEntry, 0, size/indexEntrySize)
 	for off := int64(0); off < size; off += indexEntrySize {

@@ -1,0 +1,192 @@
+package disk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file models the failures that do not announce themselves: latent
+// sector errors and bit rot. The PDSI report's reliability studies (and
+// the LSE field study they cite) show sectors silently going bad between
+// the write that stored them and the read that needs them — discovered
+// only if someone checks. The model is deliberately stateful rather than
+// byte-level: the striped-FS simulation above carries no payload, so a
+// corruption is a fact about an extent ("bytes [off,off+len) on this
+// drive are rotten since time t"), consulted by the integrity layer on
+// every read and cleared when a repair rewrites the extent. The zero-cost
+// rule holds: a nil *Corruptor answers every query negatively without
+// allocating, so fault-free runs are untouched.
+
+// CorruptionMode distinguishes how an extent went bad.
+type CorruptionMode int
+
+const (
+	// MediaError is classic bit rot / a latent sector error: one sector
+	// unreadable or silently wrong.
+	MediaError CorruptionMode = iota
+
+	// TornWrite is a multi-sector write that only partially reached the
+	// medium — adjacent sectors are stale or garbage.
+	TornWrite
+)
+
+func (m CorruptionMode) String() string {
+	switch m {
+	case MediaError:
+		return "media-error"
+	case TornWrite:
+		return "torn-write"
+	default:
+		return fmt.Sprintf("CorruptionMode(%d)", int(m))
+	}
+}
+
+// CorruptionEvent is one latent corruption: the byte range [Offset,
+// Offset+Length) on a drive is silently wrong from time At onward, until
+// some repair rewrites it. Events are plain data drawn ahead of the run
+// (see failure.DrawLSE), so the whole corruption trajectory is
+// deterministic per seed.
+type CorruptionEvent struct {
+	Offset, Length int64
+	At             sim.Time
+	Mode           CorruptionMode
+}
+
+// overlaps reports whether the event intersects [off, off+size).
+func (e CorruptionEvent) overlaps(off, size int64) bool {
+	return off < e.Offset+e.Length && e.Offset < off+size
+}
+
+// CorruptionStats counts a drive's corruption activity.
+type CorruptionStats struct {
+	// Arrived counts events whose arrival time has passed (monotone over
+	// queries; an event is counted once).
+	Arrived int64
+
+	// Hits counts FaultIn queries that found live corruption.
+	Hits int64
+
+	// Repaired counts events cleared by Repair.
+	Repaired int64
+}
+
+// Corruptor tracks latent corruption for one drive. It is pure state: the
+// caller (the integrity layer in internal/pfs) decides what a hit means —
+// detected and repaired when checksums are on, silently returned to the
+// application when they are off. All methods are nil-safe no-ops so the
+// fault-free path costs nothing.
+type Corruptor struct {
+	events   []CorruptionEvent
+	repaired []bool
+	arrived  []bool
+	stats    CorruptionStats
+}
+
+// NewCorruptor returns a Corruptor armed with the given events (copied;
+// sorted by arrival time for deterministic iteration). Nil or empty
+// events return a valid Corruptor that never reports corruption.
+func NewCorruptor(events []CorruptionEvent) *Corruptor {
+	evs := append([]CorruptionEvent(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, e := range evs {
+		if e.Offset < 0 || e.Length <= 0 || e.At < 0 {
+			panic(fmt.Sprintf("disk: invalid corruption event %+v", e))
+		}
+	}
+	return &Corruptor{
+		events:   evs,
+		repaired: make([]bool, len(evs)),
+		arrived:  make([]bool, len(evs)),
+	}
+}
+
+// Len reports the total number of armed events (0 on nil).
+func (c *Corruptor) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.events)
+}
+
+// markArrivals advances the arrival accounting to time now.
+func (c *Corruptor) markArrivals(now sim.Time) {
+	for i := range c.events {
+		if c.events[i].At > now {
+			break // events sorted by At
+		}
+		if !c.arrived[i] {
+			c.arrived[i] = true
+			c.stats.Arrived++
+		}
+	}
+}
+
+// FaultIn reports whether any unrepaired corruption that has arrived by
+// now overlaps the read [off, off+size). Nil receivers report false.
+func (c *Corruptor) FaultIn(off, size int64, now sim.Time) bool {
+	if c == nil || len(c.events) == 0 || size <= 0 {
+		return false
+	}
+	c.markArrivals(now)
+	for i, e := range c.events {
+		if e.At > now {
+			break
+		}
+		if !c.repaired[i] && e.overlaps(off, size) {
+			c.stats.Hits++
+			return true
+		}
+	}
+	return false
+}
+
+// Repair clears every arrived, unrepaired event overlapping [off,
+// off+size) — the rewrite that a checksum-triggered reconstruction or a
+// scrub pass performs — and returns how many events it cleared.
+func (c *Corruptor) Repair(off, size int64, now sim.Time) int {
+	if c == nil || len(c.events) == 0 || size <= 0 {
+		return 0
+	}
+	c.markArrivals(now)
+	n := 0
+	for i, e := range c.events {
+		if e.At > now {
+			break
+		}
+		if !c.repaired[i] && e.overlaps(off, size) {
+			c.repaired[i] = true
+			c.stats.Repaired++
+			n++
+		}
+	}
+	return n
+}
+
+// Unrepaired counts events that have arrived by now and not been
+// repaired — the drive's live latent corruption.
+func (c *Corruptor) Unrepaired(now sim.Time) int {
+	if c == nil {
+		return 0
+	}
+	c.markArrivals(now)
+	n := 0
+	for i, e := range c.events {
+		if e.At > now {
+			break
+		}
+		if !c.repaired[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns the accumulated corruption accounting (zero value on nil).
+func (c *Corruptor) Stats() CorruptionStats {
+	if c == nil {
+		return CorruptionStats{}
+	}
+	return c.stats
+}

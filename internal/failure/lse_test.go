@@ -1,0 +1,82 @@
+package failure
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+func lseSpec() LSESpec {
+	return LSESpec{
+		Disks:         4,
+		CapacityBytes: 1 << 30,
+		MTBC:          3600,
+		Shape:         1.0,
+		TornFraction:  0.3,
+		Horizon:       10 * 3600,
+	}
+}
+
+func TestDrawLSEDeterministicPerSeed(t *testing.T) {
+	a := DrawLSE(lseSpec(), 42)
+	b := DrawLSE(lseSpec(), 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed drew different corruption schedules")
+	}
+	c := DrawLSE(lseSpec(), 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds drew identical schedules")
+	}
+}
+
+func TestDrawLSEIndependentStreams(t *testing.T) {
+	small, big := lseSpec(), lseSpec()
+	big.Disks = small.Disks + 2
+	a := DrawLSE(small, 7)
+	b := DrawLSE(big, 7)
+	if !reflect.DeepEqual(a, b[:small.Disks]) {
+		t.Fatal("adding drives perturbed existing streams")
+	}
+}
+
+func TestDrawLSEEventShape(t *testing.T) {
+	spec := lseSpec()
+	var media, torn, total int
+	for _, evs := range DrawLSE(spec, 1) {
+		for _, e := range evs {
+			total++
+			if e.Offset < 0 || e.Offset+e.Length > spec.CapacityBytes {
+				t.Fatalf("event out of bounds: %+v", e)
+			}
+			if e.Offset%512 != 0 || e.Length%512 != 0 {
+				t.Fatalf("event not sector aligned: %+v", e)
+			}
+			if e.At < 0 || float64(e.At) >= spec.Horizon {
+				t.Fatalf("event outside horizon: %+v", e)
+			}
+			switch e.Mode {
+			case disk.MediaError:
+				media++
+				if e.Length != 512 {
+					t.Fatalf("media error spans %d bytes", e.Length)
+				}
+			case disk.TornWrite:
+				torn++
+				if e.Length < 1024 {
+					t.Fatalf("torn write spans only %d bytes", e.Length)
+				}
+			}
+		}
+	}
+	if total == 0 || media == 0 || torn == 0 {
+		t.Fatalf("draw too thin: total=%d media=%d torn=%d", total, media, torn)
+	}
+	// Mean count per drive should be in the right ballpark of the
+	// analytic expectation (10 per drive here).
+	want := spec.ExpectedLSECount()
+	got := float64(total) / float64(spec.Disks)
+	if got < want/3 || got > want*3 {
+		t.Fatalf("mean events per drive = %v, expected near %v", got, want)
+	}
+}

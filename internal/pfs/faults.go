@@ -56,9 +56,11 @@ func OSSTarget(i int) string { return fmt.Sprintf("oss%d", i) }
 // InjectFaults arms a fault plan against this file system. Targets are
 // OSSTarget names; unknown targets are ignored, so one plan can drive
 // several subsystems. A nil or empty plan is a no-op, and with no plan
-// injected the fault layer never alters a run.
-func (fs *FS) InjectFaults(plan *sim.FaultPlan) {
-	plan.Schedule(fs.eng, fs)
+// injected the fault layer never alters a run. An invalid plan (unsorted
+// or overlapping per-target events) is rejected whole with a typed
+// *sim.PlanError and arms nothing.
+func (fs *FS) InjectFaults(plan *sim.FaultPlan) error {
+	return plan.Schedule(fs.eng, fs)
 }
 
 // serverByTarget resolves an OSSTarget name, or nil for foreign targets.

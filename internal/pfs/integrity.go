@@ -1,0 +1,265 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// This file is the silent-failure half of the failure model: where
+// faults.go handles servers that die loudly, this handles drives that lie
+// quietly. An armed corruption schedule (disk.Corruptor per server, drawn
+// by failure.DrawLSE) marks extents rotten over sim-time; what happens
+// next depends on who looks. With Config.Checksums on, every read
+// verifies its stripe unit's crc32c and a mismatch triggers the repair
+// path: reconstruct the unit from a parity neighbour (the PR 3 degraded-
+// read machinery) at DegradedPenalty× cost, rewrite it in place, and
+// deliver the repaired data — the application never sees the corruption.
+// With checksums off the corrupt bytes flow silently into the read, and
+// only the pfs.integrity.silent_reads counter knows. A background Scrub
+// pass sweeps every stored extent (always verifying — a scrub is an
+// explicit integrity pass, independent of the read path's Checksums
+// flag), repairing what it finds, so the window in which a latent error
+// can meet a read shrinks with the scrub interval — the trade the
+// integrity experiment in cmd/pdsirepro measures. With no corruption
+// injected the whole layer is inert: nil corruptors answer without
+// allocating, no integrity metrics are registered, and the event
+// trajectory is byte-identical to a build without it.
+
+// ErrCorruptData is returned by ReadErr completions when a checksum
+// mismatch cannot be repaired — no surviving neighbour is available to
+// reconstruct the stripe unit from parity.
+var ErrCorruptData = errors.New("pfs: unrecoverable corrupt data")
+
+// IntegrityStats aggregates the integrity layer's activity over a run.
+type IntegrityStats struct {
+	// Injected counts corruption events armed via InjectCorruption.
+	Injected int64
+
+	// Detected counts checksum mismatches found, on reads or by Scrub.
+	Detected int64
+
+	// Repaired counts stripe-unit repairs completed (reconstruct from a
+	// neighbour + rewrite in place); Unrecoverable counts mismatches with
+	// no surviving neighbour to reconstruct from.
+	Repaired      int64
+	Unrecoverable int64
+
+	// SilentReads counts reads that returned corrupt bytes to the
+	// application because checksums were off — the quantity the
+	// integrity experiment measures.
+	SilentReads int64
+
+	// ScrubbedUnits counts stripe units swept by Scrub passes.
+	ScrubbedUnits int64
+}
+
+// IntegrityStats returns a copy of the integrity-layer activity so far.
+func (fs *FS) IntegrityStats() IntegrityStats { return fs.integrity }
+
+// InjectCorruption arms one drawn corruption schedule per server (see
+// failure.DrawLSE); schedules beyond the server count are rejected.
+// Arming registers the pfs.integrity.* metrics — they exist only on
+// corruption-injected runs, so a clean run's snapshot is untouched.
+func (fs *FS) InjectCorruption(events [][]disk.CorruptionEvent) error {
+	if len(events) > len(fs.servers) {
+		return fmt.Errorf("pfs: %d corruption schedules for %d servers", len(events), len(fs.servers))
+	}
+	var n int64
+	for i, evs := range events {
+		if len(evs) == 0 {
+			continue
+		}
+		fs.servers[i].corr = disk.NewCorruptor(evs)
+		n += int64(len(evs))
+	}
+	if n == 0 {
+		return nil
+	}
+	fs.armIntegrity()
+	fs.integrity.Injected += n
+	fs.cIntInjected.Add(n)
+	return nil
+}
+
+// armIntegrity lazily registers the integrity instruments. Kept out of
+// instrument() so that runs without injected corruption — including the
+// pre-PR golden snapshots — register exactly the same metric set as
+// before this layer existed.
+func (fs *FS) armIntegrity() {
+	reg := fs.eng.Metrics()
+	if reg == nil || fs.cIntDetected != nil {
+		return
+	}
+	fs.cIntInjected = reg.Counter("pfs.integrity.injected")
+	fs.cIntDetected = reg.Counter("pfs.integrity.detected")
+	fs.cIntRepaired = reg.Counter("pfs.integrity.repaired")
+	fs.cIntUnrecov = reg.Counter("pfs.integrity.unrecoverable")
+	fs.cIntSilent = reg.Counter("pfs.integrity.silent_reads")
+	fs.cIntScrubbed = reg.Counter("pfs.integrity.scrubbed_units")
+}
+
+// readCorrupted handles a read whose extent overlaps live corruption.
+// Checksums off: the rot rides along to the application, counted but
+// unflagged. Checksums on: the mismatch is detected and the unit is
+// repaired before delivery, or the read errors with ErrCorruptData.
+func (fs *FS) readCorrupted(s *server, diskOff int64, deliver func(), done func(error)) {
+	if !fs.Cfg.Checksums {
+		fs.integrity.SilentReads++
+		fs.cIntSilent.Inc()
+		deliver()
+		return
+	}
+	fs.integrity.Detected++
+	fs.cIntDetected.Inc()
+	fs.repairUnit(s, diskOff, func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		deliver()
+	})
+}
+
+// repairUnit reconstructs the stripe unit at diskOff on s from a parity
+// neighbour (DegradedPenalty× the nominal disk cost on the neighbour's
+// queues) and rewrites it in place on the home drive, clearing the latent
+// corruption. done receives ErrCorruptData when no surviving neighbour
+// exists, ErrServerDown if a server dies mid-repair, else nil.
+func (fs *FS) repairUnit(s *server, diskOff int64, done func(error)) {
+	alt := fs.survivor(s)
+	if alt == nil {
+		fs.integrity.Unrecoverable++
+		fs.cIntUnrecov.Inc()
+		done(ErrCorruptData)
+		return
+	}
+	unit := fs.Cfg.StripeUnit
+	svc := sim.Time(float64(alt.dsk.Access(diskOff, unit)) * fs.degradedPenalty())
+	aepoch := alt.epoch
+	alt.dq.Submit(svc, func(sim.Time) {
+		if alt.epoch != aepoch {
+			fs.failOp(done)
+			return
+		}
+		wsvc := s.dsk.Access(diskOff, unit)
+		sepoch := s.epoch
+		s.dq.Submit(wsvc, func(sim.Time) {
+			if s.epoch != sepoch {
+				fs.failOp(done)
+				return
+			}
+			s.corr.Repair(diskOff, unit, fs.eng.Now())
+			fs.integrity.Repaired++
+			fs.cIntRepaired.Inc()
+			done(nil)
+		})
+	})
+}
+
+// ScrubReport summarizes one Scrub pass.
+type ScrubReport struct {
+	// Units counts stripe units read and verified.
+	Units int64
+
+	// Detected, Repaired, and Unrecoverable count this pass's checksum
+	// mismatches and their outcomes.
+	Detected      int64
+	Repaired      int64
+	Unrecoverable int64
+
+	// Start and End bound the pass in sim-time.
+	Start, End sim.Time
+}
+
+// Scrub sweeps every stored stripe unit on every server, verifying
+// checksums and repairing mismatches from parity neighbours — the
+// background media scrub that bounds how long a latent sector error can
+// lie in wait. Servers sweep in parallel; each server walks its extents
+// in deterministic (file, unit) order at normal disk cost on its own
+// queues, so a scrub competes with foreground traffic exactly like any
+// other reader. A server that is down (or dies mid-sweep) abandons its
+// sweep for this pass. done, if non-nil, receives the pass summary when
+// the last server finishes.
+func (fs *FS) Scrub(done func(ScrubReport)) {
+	rep := &ScrubReport{Start: fs.eng.Now()}
+	barrier := sim.NewBarrier(fs.eng, len(fs.servers), func(at sim.Time) {
+		rep.End = at
+		if done != nil {
+			done(*rep)
+		}
+	})
+	for _, s := range fs.servers {
+		fs.scrubServer(s, rep, barrier.Arrive)
+	}
+}
+
+// scrubServer chains one server's extent sweep; each unit is read, then
+// checked against the drive's corruption state, then repaired if rotten.
+func (fs *FS) scrubServer(s *server, rep *ScrubReport, done func()) {
+	if s.down {
+		done()
+		return
+	}
+	keys := make([]stripeKey, 0, len(s.extent))
+	for k := range s.extent {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].unit < keys[j].unit
+	})
+	unit := fs.Cfg.StripeUnit
+	var next func(i int)
+	next = func(i int) {
+		if i == len(keys) {
+			done()
+			return
+		}
+		diskOff := s.extent[keys[i]]
+		svc := s.dsk.Access(diskOff, unit)
+		epoch := s.epoch
+		s.dq.Submit(svc, func(sim.Time) {
+			if s.epoch != epoch {
+				// The server died mid-sweep: abandon this pass.
+				done()
+				return
+			}
+			rep.Units++
+			fs.integrity.ScrubbedUnits++
+			fs.cIntScrubbed.Inc()
+			if !s.corr.FaultIn(diskOff, unit, fs.eng.Now()) {
+				next(i + 1)
+				return
+			}
+			rep.Detected++
+			fs.integrity.Detected++
+			fs.cIntDetected.Inc()
+			fs.repairUnit(s, diskOff, func(err error) {
+				if err != nil {
+					rep.Unrecoverable++
+				} else {
+					rep.Repaired++
+				}
+				next(i + 1)
+			})
+		})
+	}
+	next(0)
+}
+
+// UnrepairedCorruption counts corruption events that have arrived by now
+// and not yet been repaired, across all drives (for tests and the
+// integrity experiment's bookkeeping).
+func (fs *FS) UnrepairedCorruption() int {
+	n := 0
+	for _, s := range fs.servers {
+		n += s.corr.Unrepaired(fs.eng.Now())
+	}
+	return n
+}

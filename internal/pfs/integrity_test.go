@@ -1,0 +1,351 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/failure"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// intConfig is testConfig with read-path checksum verification on.
+func intConfig(servers int) Config {
+	c := testConfig(servers)
+	c.Checksums = true
+	return c
+}
+
+// writeUnits creates /f and writes n full stripe units synchronously,
+// returning the handle. Unit u of file 0 lands on server u%servers at
+// disk offset 0 of that server (first extent allocated there).
+func writeUnits(t *testing.T, eng *sim.Engine, fs *FS, n int) *File {
+	t.Helper()
+	cl := fs.NewClient(0)
+	var f *File
+	cl.Create("/f", func(h *File) {
+		f = h
+		cl.Write(h, 0, int64(n)*fs.Cfg.StripeUnit, nil)
+	})
+	eng.Run()
+	if f == nil || f.Size() != int64(n)*fs.Cfg.StripeUnit {
+		t.Fatalf("setup write failed: %+v", f)
+	}
+	return f
+}
+
+func TestChecksumReadDetectsAndRepairs(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := New(eng, intConfig(2))
+	f := writeUnits(t, eng, fs, 1) // unit 0 on server 0, disk offset 0
+	if err := fs.InjectCorruption([][]disk.CorruptionEvent{
+		{{Offset: 0, Length: 512, At: 1, Mode: disk.MediaError}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cl := fs.NewClient(1)
+	gotErr := errors.New("read never completed")
+	eng.At(2, func() {
+		cl.ReadErr(f, 0, fs.Cfg.StripeUnit, func(err error) { gotErr = err })
+	})
+	eng.Run()
+	if gotErr != nil {
+		t.Fatalf("repaired read errored: %v", gotErr)
+	}
+	st := fs.IntegrityStats()
+	if st.Detected != 1 || st.Repaired != 1 || st.SilentReads != 0 || st.Unrecoverable != 0 {
+		t.Fatalf("stats = %+v, want one detected+repaired", st)
+	}
+	if fs.UnrepairedCorruption() != 0 {
+		t.Fatal("corruption survived the repair")
+	}
+	// The repaired unit reads clean from now on.
+	eng.At(eng.Now()+1, func() {
+		cl.ReadErr(f, 0, fs.Cfg.StripeUnit, func(err error) { gotErr = err })
+	})
+	eng.Run()
+	if gotErr != nil || fs.IntegrityStats().Detected != 1 {
+		t.Fatalf("re-read after repair: err=%v stats=%+v", gotErr, fs.IntegrityStats())
+	}
+}
+
+func TestChecksumsOffReadsCorruptBytesSilently(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := intConfig(2)
+	cfg.Checksums = false
+	fs := New(eng, cfg)
+	f := writeUnits(t, eng, fs, 1)
+	if err := fs.InjectCorruption([][]disk.CorruptionEvent{
+		{{Offset: 0, Length: 512, At: 1, Mode: disk.TornWrite}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cl := fs.NewClient(1)
+	gotErr := errors.New("read never completed")
+	eng.At(2, func() {
+		cl.ReadErr(f, 0, fs.Cfg.StripeUnit, func(err error) { gotErr = err })
+	})
+	eng.Run()
+	if gotErr != nil {
+		t.Fatalf("silent read errored: %v", gotErr)
+	}
+	st := fs.IntegrityStats()
+	if st.SilentReads != 1 || st.Detected != 0 || st.Repaired != 0 {
+		t.Fatalf("stats = %+v, want one silent read", st)
+	}
+	if fs.UnrepairedCorruption() != 1 {
+		t.Fatal("silent read repaired the corruption")
+	}
+}
+
+func TestChecksumMismatchWithNoSurvivorIsUnrecoverable(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := New(eng, intConfig(2))
+	f := writeUnits(t, eng, fs, 1)
+	if err := fs.InjectCorruption([][]disk.CorruptionEvent{
+		{{Offset: 0, Length: 512, At: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The only other server is permanently down before the read.
+	if err := fs.InjectFaults(sim.NewFaultPlan().Add(OSSTarget(1), sim.Time(1.5), 0)); err != nil {
+		t.Fatal(err)
+	}
+	cl := fs.NewClient(1)
+	gotErr := errors.New("read never completed")
+	eng.At(2, func() {
+		cl.ReadErr(f, 0, fs.Cfg.StripeUnit, func(err error) { gotErr = err })
+	})
+	eng.Run()
+	if !errors.Is(gotErr, ErrCorruptData) {
+		t.Fatalf("err = %v, want ErrCorruptData", gotErr)
+	}
+	st := fs.IntegrityStats()
+	if st.Detected != 1 || st.Unrecoverable != 1 || st.Repaired != 0 {
+		t.Fatalf("stats = %+v, want one unrecoverable", st)
+	}
+}
+
+func TestOverwriteClearsLatentCorruption(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := New(eng, intConfig(2))
+	f := writeUnits(t, eng, fs, 1)
+	if err := fs.InjectCorruption([][]disk.CorruptionEvent{
+		{{Offset: 0, Length: 512, At: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cl := fs.NewClient(0)
+	eng.At(2, func() { cl.Write(f, 0, fs.Cfg.StripeUnit, nil) })
+	eng.Run()
+	if fs.UnrepairedCorruption() != 0 {
+		t.Fatal("full overwrite left the corruption live")
+	}
+	if st := fs.IntegrityStats(); st.Detected != 0 {
+		t.Fatalf("overwrite path counted a detection: %+v", st)
+	}
+}
+
+func TestInjectCorruptionRejectsTooManySchedules(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := New(eng, intConfig(2))
+	err := fs.InjectCorruption(make([][]disk.CorruptionEvent, 3))
+	if err == nil {
+		t.Fatal("3 schedules for 2 servers accepted")
+	}
+}
+
+// TestScrubRepairRestoresCleanContents is the property test: for several
+// random corruption patterns, one scrub pass after all events arrive
+// leaves every stored stripe unit byte-identical to its written contents
+// (no live corruption anywhere), and subsequent reads verify clean.
+func TestScrubRepairRestoresCleanContents(t *testing.T) {
+	const units = 8
+	for seed := int64(1); seed <= 5; seed++ {
+		eng := sim.NewEngine()
+		fs := New(eng, intConfig(4))
+		f := writeUnits(t, eng, fs, units)
+		// Random events confined to allocated disk space: each server
+		// holds units/4 extents starting at disk offset 0.
+		r := rand.New(rand.NewSource(seed))
+		events := make([][]disk.CorruptionEvent, 4)
+		allocated := int64(units/4) * fs.Cfg.StripeUnit
+		total := 0
+		for s := range events {
+			for k := 0; k < 1+r.Intn(4); k++ {
+				off := (r.Int63n(allocated / 512)) * 512
+				length := int64(512 * (1 + r.Intn(4)))
+				if off+length > allocated {
+					length = allocated - off
+				}
+				events[s] = append(events[s], disk.CorruptionEvent{
+					Offset: off, Length: length, At: sim.Time(1 + r.Float64()*5),
+				})
+				total++
+			}
+		}
+		if err := fs.InjectCorruption(events); err != nil {
+			t.Fatal(err)
+		}
+		var rep ScrubReport
+		eng.At(10, func() { fs.Scrub(func(r ScrubReport) { rep = r }) })
+		eng.Run()
+		if fs.UnrepairedCorruption() != 0 {
+			t.Fatalf("seed %d: %d events survived the scrub", seed, fs.UnrepairedCorruption())
+		}
+		if rep.Units != units || rep.Unrecoverable != 0 {
+			t.Fatalf("seed %d: report = %+v, want %d units all repairable", seed, rep, units)
+		}
+		if rep.Detected == 0 || rep.Detected != rep.Repaired {
+			t.Fatalf("seed %d: report = %+v, want detected==repaired>0", seed, rep)
+		}
+		// Every unit now reads back verified-clean.
+		cl := fs.NewClient(1)
+		var readErr error
+		eng.At(eng.Now()+1, func() {
+			cl.ReadErr(f, 0, int64(units)*fs.Cfg.StripeUnit, func(err error) { readErr = err })
+		})
+		before := fs.IntegrityStats()
+		eng.Run()
+		after := fs.IntegrityStats()
+		if readErr != nil {
+			t.Fatalf("seed %d: post-scrub read errored: %v", seed, readErr)
+		}
+		if after.Detected != before.Detected || after.SilentReads != 0 {
+			t.Fatalf("seed %d: post-scrub read saw corruption: %+v", seed, after)
+		}
+	}
+}
+
+// TestNoCorruptionReachesReadsUnflagged is the acceptance cross-check:
+// under a drawn LSE schedule with checksums on, every read either
+// returns verified (possibly repaired) data or a typed error — and the
+// pfs.integrity.* counters account for every injected event that a read
+// or scrub encountered.
+func TestNoCorruptionReachesReadsUnflagged(t *testing.T) {
+	const units = 16
+	spec := failure.LSESpec{
+		Disks:         4,
+		CapacityBytes: int64(units/4) * PanFSLike(4).StripeUnit,
+		MTBC:          2,
+		Shape:         1.0,
+		TornFraction:  0.25,
+		Horizon:       10,
+	}
+	events := failure.DrawLSE(spec, 99)
+	injected := 0
+	for _, evs := range events {
+		injected += len(evs)
+	}
+	if injected == 0 {
+		t.Fatal("draw produced no corruption")
+	}
+
+	eng := sim.NewEngine()
+	reg := obs.NewRegistry()
+	eng.Instrument(reg, nil)
+	fs := New(eng, intConfig(4))
+	f := writeUnits(t, eng, fs, units)
+	if err := fs.InjectCorruption(events); err != nil {
+		t.Fatal(err)
+	}
+	// Read the whole file repeatedly across the horizon, then scrub, then
+	// read once more after every event has arrived.
+	cl := fs.NewClient(1)
+	reads, flagged := 0, 0
+	readAll := func() {
+		cl.ReadErr(f, 0, f.Size(), func(err error) {
+			reads++
+			if err != nil {
+				if !errors.Is(err, ErrCorruptData) {
+					t.Errorf("read errored with %v, want nil or ErrCorruptData", err)
+				}
+				flagged++
+			}
+		})
+	}
+	for _, at := range []sim.Time{3, 6, 9} {
+		eng.At(at, readAll)
+	}
+	eng.At(11, func() { fs.Scrub(nil) })
+	eng.At(15, readAll)
+	eng.Run()
+
+	if reads != 4 {
+		t.Fatalf("completed %d reads, want 4", reads)
+	}
+	st := fs.IntegrityStats()
+	if st.Injected != int64(injected) {
+		t.Fatalf("Injected = %d, want %d", st.Injected, injected)
+	}
+	// With checksums on, nothing is silent; every detection was either
+	// repaired or surfaced as a typed error.
+	if st.SilentReads != 0 {
+		t.Fatalf("%d corrupt reads went unflagged", st.SilentReads)
+	}
+	if st.Detected == 0 || st.Detected != st.Repaired+st.Unrecoverable {
+		t.Fatalf("stats = %+v, want detected == repaired+unrecoverable > 0", st)
+	}
+	if st.Unrecoverable > 0 && flagged == 0 {
+		t.Fatal("unrecoverable detections but no read was flagged")
+	}
+	// All healthy servers: nothing should actually be unrecoverable, so
+	// after the final repairs every arrived event is gone.
+	if st.Unrecoverable != 0 {
+		t.Fatalf("unrecoverable = %d with all servers healthy", st.Unrecoverable)
+	}
+	if fs.UnrepairedCorruption() != 0 {
+		t.Fatalf("%d events never repaired", fs.UnrepairedCorruption())
+	}
+	// The registry mirrors the struct counters exactly.
+	s := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"pfs.integrity.injected":       st.Injected,
+		"pfs.integrity.detected":       st.Detected,
+		"pfs.integrity.repaired":       st.Repaired,
+		"pfs.integrity.unrecoverable":  st.Unrecoverable,
+		"pfs.integrity.silent_reads":   st.SilentReads,
+		"pfs.integrity.scrubbed_units": st.ScrubbedUnits,
+	} {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestIntegrityRunDeterministicPerSeed(t *testing.T) {
+	run := func() *bytes.Buffer {
+		spec := failure.LSESpec{
+			Disks:         2,
+			CapacityBytes: 4 * PanFSLike(2).StripeUnit,
+			MTBC:          1,
+			Shape:         0.8,
+			TornFraction:  0.5,
+			Horizon:       8,
+		}
+		eng := sim.NewEngine()
+		reg := obs.NewRegistry()
+		eng.Instrument(reg, nil)
+		fs := New(eng, intConfig(2))
+		f := writeUnits(t, eng, fs, 8)
+		if err := fs.InjectCorruption(failure.DrawLSE(spec, 7)); err != nil {
+			t.Fatal(err)
+		}
+		cl := fs.NewClient(1)
+		eng.At(4, func() { fs.Scrub(nil) })
+		eng.At(9, func() { cl.ReadErr(f, 0, f.Size(), func(error) {}) })
+		eng.Run()
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed integrity runs diverged")
+	}
+}

@@ -280,6 +280,8 @@ func (s *server) write(fs *FS, st *fileState, p subOp, done func(error)) {
 			done(ErrServerDown)
 			return
 		}
+		// Fresh bytes replace whatever rot had accumulated in the range.
+		s.corr.Repair(diskOff+p.offIn, p.size, fs.eng.Now())
 		done(nil)
 	})
 }
@@ -386,12 +388,21 @@ func (s *server) read(fs *FS, st *fileState, p subOp, penalty float64, done func
 			fs.failOp(done)
 			return
 		}
-		s.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) {
-			if s.epoch != epoch {
-				fs.failOp(done)
-				return
-			}
-			done(nil)
-		})
+		deliver := func() {
+			s.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) {
+				if s.epoch != epoch {
+					fs.failOp(done)
+					return
+				}
+				done(nil)
+			})
+		}
+		// The bytes are off the platter: this is where a checksum (or the
+		// lack of one) decides whether latent corruption is caught.
+		if s.corr.FaultIn(diskOff+p.offIn, p.size, fs.eng.Now()) {
+			fs.readCorrupted(s, diskOff, deliver, done)
+			return
+		}
+		deliver()
 	})
 }

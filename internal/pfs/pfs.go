@@ -106,6 +106,14 @@ type Config struct {
 	// the surviving stripes plus parity are read and XOR-combined. Zero
 	// defaults to 4.
 	DegradedPenalty float64
+
+	// Checksums enables per-stripe-unit crc32c verification on every
+	// read: a mismatch against injected corruption (InjectCorruption)
+	// triggers parity reconstruction and an in-place rewrite instead of
+	// returning rotten bytes. Off, corrupt reads succeed silently (the
+	// pfs.integrity.silent_reads counter is the only witness). With no
+	// corruption injected the flag changes nothing.
+	Checksums bool
 }
 
 // Validate reports a descriptive error for an unusable configuration.
@@ -215,6 +223,10 @@ type server struct {
 	epoch        int
 	rebuildUntil sim.Time
 
+	// corr tracks this server's drive-level latent corruption; nil (the
+	// common case) means the drive never lies.
+	corr *disk.Corruptor
+
 	bytesWritten int64
 	bytesRead    int64
 
@@ -248,6 +260,9 @@ type FS struct {
 	// Fault accounting (see faults.go).
 	faults FaultStats
 
+	// Integrity accounting (see integrity.go).
+	integrity IntegrityStats
+
 	// File-system-wide instrument handles (nil when uninstrumented).
 	cMeta      *obs.Counter
 	cRevokes   *obs.Counter
@@ -262,6 +277,15 @@ type FS struct {
 	cFailedOps  *obs.Counter
 	cDegraded   *obs.Counter
 	cLeaseExp   *obs.Counter
+
+	// Integrity instrument handles, registered lazily by armIntegrity so
+	// corruption-free snapshots stay byte-identical (nil otherwise).
+	cIntInjected *obs.Counter
+	cIntDetected *obs.Counter
+	cIntRepaired *obs.Counter
+	cIntUnrecov  *obs.Counter
+	cIntSilent   *obs.Counter
+	cIntScrubbed *obs.Counter
 }
 
 // stripeLock is a FIFO mutex with an ownership-transfer penalty.

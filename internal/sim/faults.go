@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -32,9 +33,10 @@ type FaultEvent struct {
 func (e FaultEvent) Permanent() bool { return e.Downtime <= 0 }
 
 // FaultSink receives crash/recovery callbacks from a scheduled plan.
-// Implementations must tolerate redundant events (a crash of an
-// already-down target, a recovery of an up one): overlapping per-target
-// schedules are legal plans.
+// Implementations should still tolerate redundant events defensively, but
+// Schedule validates the plan on arm: per-target schedules must be sorted
+// and non-overlapping (see Validate), so a sink never observes a crash of
+// an already-down target from a plan that armed successfully.
 type FaultSink interface {
 	CrashTarget(target string)
 	RecoverTarget(target string)
@@ -80,15 +82,67 @@ func (p *FaultPlan) Events() []FaultEvent {
 	return out
 }
 
+// ErrInvalidPlan is the sentinel every plan-validation failure wraps;
+// match it with errors.Is.
+var ErrInvalidPlan = errors.New("sim: invalid fault plan")
+
+// PlanError reports the first per-target schedule violation found by
+// Validate: the offending pair of events (in insertion order) and why
+// they cannot both arm. It unwraps to ErrInvalidPlan.
+type PlanError struct {
+	Target     string
+	Prev, Next FaultEvent
+	Reason     string // "unsorted" or "overlapping"
+}
+
+func (e *PlanError) Error() string {
+	return fmt.Sprintf("%v: target %q %s events: crash at %v (downtime %v) then crash at %v",
+		ErrInvalidPlan, e.Target, e.Reason, e.Prev.At, e.Prev.Downtime, e.Next.At)
+}
+
+// Unwrap makes errors.Is(err, ErrInvalidPlan) hold.
+func (e *PlanError) Unwrap() error { return ErrInvalidPlan }
+
+// Validate checks every target's schedule in insertion order: event times
+// must be nondecreasing ("unsorted" otherwise), and each crash must fire
+// at or after the previous outage's recovery ("overlapping" otherwise — a
+// second crash landing inside an outage would re-arm the recovery timer
+// and silently cut the first outage short). A permanent failure admits no
+// later events for its target. Nil and empty plans are valid.
+func (p *FaultPlan) Validate() error {
+	if p.Len() == 0 {
+		return nil
+	}
+	last := make(map[string]FaultEvent, 8)
+	for _, ev := range p.events {
+		prev, seen := last[ev.Target]
+		if seen {
+			switch {
+			case ev.At < prev.At:
+				return &PlanError{Target: ev.Target, Prev: prev, Next: ev, Reason: "unsorted"}
+			case prev.Permanent() || ev.At < prev.At+prev.Downtime:
+				return &PlanError{Target: ev.Target, Prev: prev, Next: ev, Reason: "overlapping"}
+			}
+		}
+		last[ev.Target] = ev
+	}
+	return nil
+}
+
 // Schedule arms every event on the engine against sink. Crashes and
 // recoveries are ordinary events, so they interleave deterministically
 // with the model's own traffic. Instrumented engines count injections
 // and recoveries ("sim.faults.injected", "sim.faults.recovered") and
 // mark each transition in the trace. A nil or empty plan schedules
-// nothing.
-func (p *FaultPlan) Schedule(eng *Engine, sink FaultSink) {
+// nothing. The plan is validated on arm: an unsorted or overlapping
+// per-target schedule returns a *PlanError (wrapping ErrInvalidPlan)
+// and arms nothing.
+func (p *FaultPlan) Schedule(eng *Engine, sink FaultSink) error {
 	if p.Len() == 0 || sink == nil {
-		return
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	reg := eng.Metrics()
 	cInjected := reg.Counter("sim.faults.injected")
@@ -115,4 +169,5 @@ func (p *FaultPlan) Schedule(eng *Engine, sink FaultSink) {
 			sink.RecoverTarget(ev.Target)
 		})
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -103,4 +104,66 @@ func TestFaultPlanNegativeTimePanics(t *testing.T) {
 		}
 	}()
 	NewFaultPlan().Add("oss0", -1, 0)
+}
+
+func TestFaultPlanValidateAcceptsSaneSchedules(t *testing.T) {
+	cases := []*FaultPlan{
+		nil,
+		NewFaultPlan(),
+		NewFaultPlan().Add("oss0", 1, 1).Add("oss1", 1, 1), // same time, different targets
+		NewFaultPlan().Add("oss0", 1, 2).Add("oss0", 3, 0), // crash exactly at recovery
+		NewFaultPlan().Add("oss0", 1, 1).Add("oss0", 10, 0).Add("oss1", 0, 0),
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err != nil {
+			t.Errorf("case %d: Validate() = %v, want nil", i, err)
+		}
+	}
+}
+
+func TestFaultPlanValidateRejectsBadSchedules(t *testing.T) {
+	cases := []struct {
+		name   string
+		plan   *FaultPlan
+		reason string
+	}{
+		{"unsorted", NewFaultPlan().Add("oss0", 5, 1).Add("oss0", 1, 1), "unsorted"},
+		{"overlap", NewFaultPlan().Add("oss0", 1, 10).Add("oss0", 5, 1), "overlapping"},
+		{"after permanent", NewFaultPlan().Add("oss0", 1, 0).Add("oss0", 9, 1), "overlapping"},
+		{"same instant", NewFaultPlan().Add("oss0", 2, 1).Add("oss0", 2, 1), "overlapping"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidPlan) {
+			t.Errorf("%s: errors.Is(err, ErrInvalidPlan) = false for %v", tc.name, err)
+		}
+		var pe *PlanError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %T is not *PlanError", tc.name, err)
+			continue
+		}
+		if pe.Target != "oss0" || pe.Reason != tc.reason {
+			t.Errorf("%s: got target %q reason %q, want oss0/%s", tc.name, pe.Target, pe.Reason, tc.reason)
+		}
+	}
+}
+
+func TestScheduleRejectsInvalidPlanArmsNothing(t *testing.T) {
+	eng := NewEngine()
+	sink := &recordingSink{eng: eng}
+	plan := NewFaultPlan().Add("oss0", 5, 1).Add("oss0", 1, 1)
+	if err := plan.Schedule(eng, sink); !errors.Is(err, ErrInvalidPlan) {
+		t.Fatalf("Schedule() = %v, want ErrInvalidPlan", err)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("invalid plan armed %d events", eng.Pending())
+	}
+	eng.Run()
+	if len(sink.log) != 0 {
+		t.Fatalf("invalid plan produced transitions: %v", sink.log)
+	}
 }

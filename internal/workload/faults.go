@@ -105,7 +105,9 @@ func RunFaults(cfg pfs.Config, fspec FaultSpec, reg *obs.Registry, tr *obs.Trace
 	eng := sim.NewEngine()
 	eng.Instrument(reg, tr)
 	fs := pfs.New(eng, cfg)
-	fs.InjectFaults(fspec.Plan)
+	if err := fs.InjectFaults(fspec.Plan); err != nil {
+		panic(err)
+	}
 
 	// Fault-path instruments exist only on faulty runs so that a
 	// fault-free run's snapshot matches RunProgramsProbed exactly.
