@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test lint bench-smoke
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# lint mirrors the blocking lint steps in CI exactly: formatting, vet,
+# and the repo's own determinism/invariant analyzers (cmd/pdsilint).
+# Pinned third-party tools (staticcheck, govulncheck, shadow) run in CI
+# only, because they need a network fetch to install.
+lint:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/pdsilint ./...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=GlobalIndex -benchtime=1x ./internal/core/...

@@ -1,0 +1,61 @@
+// Command pdsilint is the repository's determinism multichecker: it
+// runs the internal/lint analyzer suite — walltime, globalrand,
+// maporder, metricname, errwrap — over the module and exits non-zero
+// on any finding. CI gates on it; run it locally with:
+//
+//	go run ./cmd/pdsilint ./...
+//	go run ./cmd/pdsilint ./internal/pfs ./internal/core
+//
+// Suppress an individual finding with a trailing //lint:allow <name>
+// comment (policy in DESIGN.md, "Determinism invariants and static
+// enforcement"). Unlike go vet, pdsilint also lints _test.go files:
+// golden-snapshot tests are part of the determinism contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pdsilint [-list] [patterns]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdsilint:", err)
+		os.Exit(2)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdsilint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.RunPatterns(root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdsilint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pdsilint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

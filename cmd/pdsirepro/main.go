@@ -18,7 +18,6 @@ import (
 	"io"
 	"os"
 	"strings"
-	"time"
 
 	"repro/internal/archive"
 	"repro/internal/cloudfs"
@@ -430,16 +429,16 @@ func figSearch() {
 	flat := mdindex.FlatScan(records, q)
 	idx := ix.Search(q)
 	const iters = 20
-	startFlat := time.Now()
+	swFlat := obs.StartStopwatch()
 	for i := 0; i < iters; i++ {
 		mdindex.FlatScan(records, q)
 	}
-	flatDur := time.Since(startFlat) / iters
-	startIdx := time.Now()
+	flatDur := swFlat.Elapsed() / iters
+	swIdx := obs.StartStopwatch()
 	for i := 0; i < iters; i++ {
 		ix.Search(q)
 	}
-	idxDur := time.Since(startIdx) / iters
+	idxDur := swIdx.Elapsed() / iters
 
 	fmt.Printf("corpus:          %d files in %d partitions\n", ix.Len(), ix.Partitions())
 	fmt.Printf("query:           owner=8 AND ext=.h5 AND size<=4K -> %d matches (flat scan agrees: %v)\n",
@@ -490,9 +489,9 @@ func figIndex() {
 				Timestamp:     uint64(i + 1),
 			}
 		}
-		t0 := time.Now()
+		sw := obs.StartStopwatch()
 		g := core.BuildGlobalIndex(entries)
-		dur := time.Since(t0)
+		dur := sw.Elapsed()
 		fmt.Printf("%12d %12d %14.1f %16.0f\n",
 			n, g.NumExtents(), float64(dur.Microseconds())/1e3, float64(n)/dur.Seconds())
 	}

@@ -150,9 +150,9 @@ func runIndexBench(entries, writers, ingestWorkers int, reg *obs.Registry) index
 		wr.Close()
 	}
 
-	t0 := time.Now()
+	sw := obs.StartStopwatch()
 	r, err := c.OpenReader()
-	openDur := time.Since(t0)
+	openDur := sw.Elapsed()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "indexbench: %v\n", err)
 		os.Exit(1)
@@ -173,9 +173,9 @@ func runIndexBench(entries, writers, ingestWorkers int, reg *obs.Registry) index
 			})
 		}
 	}
-	t1 := time.Now()
+	sw = obs.StartStopwatch()
 	g := core.BuildGlobalIndex(raw)
-	mergeDur := time.Since(t1)
+	mergeDur := sw.Elapsed()
 
 	n := r.Index().NumEntries()
 	res := indexBenchResult{

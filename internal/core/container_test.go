@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -271,13 +272,13 @@ func TestClosedHandleErrors(t *testing.T) {
 	_, c := newContainer(t, DefaultOptions())
 	w, _ := c.OpenWriter(0)
 	w.Close()
-	if _, err := w.WriteAt([]byte("x"), 0); err != ErrClosed {
+	if _, err := w.WriteAt([]byte("x"), 0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("WriteAt on closed = %v, want ErrClosed", err)
 	}
-	if err := w.Close(); err != ErrClosed {
+	if err := w.Close(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("double Close = %v, want ErrClosed", err)
 	}
-	if err := w.Sync(); err != ErrClosed {
+	if err := w.Sync(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Sync on closed = %v, want ErrClosed", err)
 	}
 }

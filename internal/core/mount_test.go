@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"sync"
 	"testing"
@@ -137,19 +138,19 @@ func TestMountClosedHandle(t *testing.T) {
 	f, _ := m.OpenFile("f", 0, true)
 	f.WriteAt([]byte("x"), 0)
 	f.Close()
-	if _, err := f.WriteAt([]byte("y"), 0); err != ErrClosed {
+	if _, err := f.WriteAt([]byte("y"), 0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("WriteAt after close = %v", err)
 	}
-	if _, err := f.ReadAt(make([]byte, 1), 0); err != ErrClosed {
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("ReadAt after close = %v", err)
 	}
-	if _, err := f.Size(); err != ErrClosed {
+	if _, err := f.Size(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Size after close = %v", err)
 	}
-	if err := f.Sync(); err != ErrClosed {
+	if err := f.Sync(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Sync after close = %v", err)
 	}
-	if err := f.Close(); err != ErrClosed {
+	if err := f.Close(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("double Close = %v", err)
 	}
 }

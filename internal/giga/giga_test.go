@@ -3,6 +3,7 @@ package giga
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -51,6 +52,7 @@ func TestLocateTotalProperty(t *testing.T) {
 			for k := range m {
 				keys = append(keys, k)
 			}
+			slices.Sort(keys)
 			k := keys[r.Intn(len(keys))]
 			d := m[k]
 			if d >= maxDepth {

@@ -1,0 +1,154 @@
+// Package analysistest runs one analyzer over fixture packages under
+// testdata/src and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest on top of the
+// offline engine. A want comment holds one or more quoted regular
+// expressions and binds to its own source line:
+//
+//	time.Sleep(d) // want `wall-clock call`
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched by at least one diagnostic; //lint:allow suppression is
+// applied before matching, so fixtures can also prove the escape hatch
+// works by pairing a violation with an allow directive and no want.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/engine"
+)
+
+// Run loads testdata/src/<pkg> for each named fixture package (relative
+// to the calling test's working directory), applies the analyzer, and
+// reports mismatches through t. Multiple packages load into one run so
+// cross-package Finish diagnostics can be tested.
+func Run(t *testing.T, a *engine.Analyzer, pkgs ...string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := engine.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		loader.RegisterDir(pkg, filepath.Join(wd, "testdata", "src", filepath.FromSlash(pkg)))
+	}
+	var units []*engine.Unit
+	for _, pkg := range pkgs {
+		u, err := loader.LoadDir(pkg, filepath.Join(wd, "testdata", "src", filepath.FromSlash(pkg)))
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkg, err)
+		}
+		units = append(units, u)
+	}
+	findings, err := engine.Run(units, []*engine.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := map[string][]*want{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			name := loader.Fset.Position(f.Pos()).Filename
+			ws, err := parseWants(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, v := range ws {
+				wants[k] = append(wants[k], v...)
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Position.Filename, f.Position.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", key, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE matches the comment marker; quoted patterns follow it.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// tokenRE matches one Go string literal (interpreted or raw).
+var tokenRE = regexp.MustCompile("^`[^`]*`|^\"(\\\\.|[^\"\\\\])*\"")
+
+// parseWants scans one fixture file for want comments, keyed by
+// "filename:line".
+func parseWants(filename string) (map[string][]*want, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]*want{}
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		for rest != "" {
+			tok := tokenRE.FindString(rest)
+			if tok == "" {
+				break
+			}
+			rest = strings.TrimSpace(rest[len(tok):])
+			pat, err := strconv.Unquote(tok)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern %s: %w", filename, i+1, tok, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", filename, i+1, pat, err)
+			}
+			key := fmt.Sprintf("%s:%d", filename, i+1)
+			out[key] = append(out[key], &want{re: re})
+		}
+	}
+	return out, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,190 @@
+// Package engine is a self-contained, standard-library-only analysis
+// framework modeled on golang.org/x/tools/go/analysis. The repository
+// builds offline with no module dependencies, so rather than import the
+// x/tools multichecker we reimplement the small slice of its API that
+// pdsilint needs: an Analyzer with a Run function over a type-checked
+// package, Diagnostics with positions, a package loader, and a driver
+// that applies //lint:allow suppression comments. Analyzers written
+// against this package port to x/tools go/analysis mechanically should
+// that dependency ever become available.
+package engine
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the short identifier used on the command line and in
+	// //lint:allow <name> suppression directives.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Run executes the check on one type-checked unit. Diagnostics are
+	// delivered through pass.Report; the returned value (may be nil) is
+	// collected per unit and handed to Finish.
+	Run func(pass *Pass) (any, error)
+
+	// Finish, if non-nil, runs once after every unit has been analyzed
+	// and may report cross-package diagnostics (e.g. duplicate metric
+	// names registered by two different packages). The results slice
+	// holds one entry per analyzed unit, in deterministic load order.
+	Finish func(results []UnitResult) []Diagnostic
+}
+
+// Pass carries the inputs for one Analyzer.Run invocation over one unit.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Unit      *Unit
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// UnitResult pairs an analyzed unit with the value its Run returned.
+type UnitResult struct {
+	Unit   *Unit
+	Result any
+}
+
+// Finding is a fully resolved diagnostic ready for printing or testing.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]",
+		f.Position.Filename, f.Position.Line, f.Position.Column, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every unit, filters suppressed
+// diagnostics, invokes Finish hooks, and returns findings sorted by
+// file, line, column, then analyzer name — a deterministic order
+// regardless of load or map iteration order.
+func Run(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		var results []UnitResult
+		for _, u := range units {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.Info,
+				Unit:      u,
+			}
+			res, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, u.ImportPath, err)
+			}
+			results = append(results, UnitResult{Unit: u, Result: res})
+			for _, d := range pass.diags {
+				if !u.suppressed(a.Name, d.Pos) {
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Position: u.Fset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				}
+			}
+		}
+		if a.Finish != nil {
+			for _, d := range a.Finish(results) {
+				// Finish diagnostics carry positions from some unit's
+				// FileSet; all units share one FileSet per loader.
+				var pos token.Position
+				var sup bool
+				for _, u := range units {
+					if u.covers(d.Pos) {
+						pos = u.Fset.Position(d.Pos)
+						sup = u.suppressed(a.Name, d.Pos)
+						break
+					}
+				}
+				if !sup {
+					findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// suppressed reports whether an //lint:allow directive covers the
+// diagnostic position for the named analyzer: a directive suppresses
+// findings on its own source line and on the line immediately below it
+// (so it can trail the offending expression or sit on its own line
+// above).
+func (u *Unit) suppressed(analyzer string, pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	p := u.Fset.Position(pos)
+	lines := u.allows[p.Filename]
+	if lines == nil {
+		return false
+	}
+	names := lines[p.Line]
+	if names == "" {
+		names = lines[p.Line-1]
+	}
+	if names == "" {
+		return false
+	}
+	for _, n := range strings.Split(names, ",") {
+		if strings.TrimSpace(n) == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// covers reports whether pos falls inside one of the unit's files.
+func (u *Unit) covers(pos token.Pos) bool {
+	for _, f := range u.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package engine_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/engine"
+)
+
+// writeModule lays out a throwaway module for loader tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// callCounter flags every function call; tests use it to observe
+// suppression and ordering behavior independent of any real analyzer.
+var callCounter = &engine.Analyzer{
+	Name: "callcounter",
+	Doc:  "test analyzer: reports every call expression",
+	Run: func(pass *engine.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(call.Pos(), "call found")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func TestLoadAllAndSuppression(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func f() {}
+
+func g() {
+	f() // flagged
+	f() //lint:allow callcounter -- trailing directive
+	//lint:allow callcounter -- directive on the line above
+	f()
+	f() //lint:allow otherchecker -- wrong analyzer, still flagged
+}
+`,
+		"a/testdata/ignored.go": "package broken!!! not even Go\n",
+	})
+	loader, err := engine.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("LoadAll returned %d units, want 1 (testdata must be skipped)", len(units))
+	}
+	if units[0].ImportPath != "example.test/a" {
+		t.Fatalf("unit import path = %q", units[0].ImportPath)
+	}
+	findings, err := engine.Run(units, []*engine.Analyzer{callCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (two of four calls suppressed): %v", len(findings), findings)
+	}
+	if findings[0].Position.Line != 6 || findings[1].Position.Line != 10 {
+		t.Fatalf("finding lines = %d, %d; want 6 and 10", findings[0].Position.Line, findings[1].Position.Line)
+	}
+}
+
+func TestRunOrderIsDeterministic(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"b/b.go": "package b\n\nfunc h() { g(); g() }\n\nfunc g() {}\n",
+		"a/a.go": "package a\n\nfunc f() { f() }\n",
+	})
+	loader, err := engine.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := engine.Run(units, []*engine.Analyzer{callCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := engine.Run(units, []*engine.Analyzer{callCounter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d findings, want %d", i, len(again), len(first))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("run %d: finding %d = %+v, want %+v", i, j, again[j], first[j])
+			}
+		}
+	}
+	if len(first) != 3 {
+		t.Fatalf("got %d findings, want 3", len(first))
+	}
+	if !filepath.IsAbs(first[0].Position.Filename) {
+		t.Fatalf("positions should be absolute, got %q", first[0].Position.Filename)
+	}
+	// a/ sorts before b/ regardless of walk or map order.
+	if filepath.Base(first[0].Position.Filename) != "a.go" {
+		t.Fatalf("first finding in %s, want a.go", first[0].Position.Filename)
+	}
+}
+
+func TestLoaderResolvesIntraModuleImports(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":        "module example.test\n\ngo 1.22\n",
+		"lib/lib.go":    "package lib\n\n// V is exported for the importer test.\nvar V = 42\n",
+		"app/main.go":   "package main\n\nimport \"example.test/lib\"\n\nfunc main() { _ = lib.V }\n",
+		"app/util.go":   "package main\n\nimport \"fmt\"\n\nfunc show() { fmt.Println(\"x\") }\n",
+		"lib/l_test.go": "package lib\n\nimport \"testing\"\n\nfunc TestV(t *testing.T) { _ = V }\n",
+	})
+	loader, err := engine.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("got %d units, want 2", len(units))
+	}
+	var lib *engine.Unit
+	for _, u := range units {
+		if u.ImportPath == "example.test/lib" {
+			lib = u
+		}
+	}
+	if lib == nil {
+		t.Fatal("lib unit not loaded")
+	}
+	if !lib.IsTest {
+		t.Error("lib unit should include its in-package test file")
+	}
+	if len(lib.Files) != 2 {
+		t.Errorf("lib unit has %d files, want 2", len(lib.Files))
+	}
+}

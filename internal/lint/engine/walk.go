@@ -1,0 +1,21 @@
+package engine
+
+import "go/ast"
+
+// WalkStack traverses root in depth-first order, calling fn for every
+// node with the stack of its ancestors (stack[0] is root, stack ends
+// with n's parent). Returning false prunes the subtree below n.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}

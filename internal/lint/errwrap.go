@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/engine"
+)
+
+var sentinelNameRE = regexp.MustCompile(`^Err[A-Z0-9_]`)
+
+// Errwrap enforces the sentinel-error contract: sentinels such as
+// ErrCorruptData, ErrServerDown, ErrTruncatedLog, and ErrCorruptExtent
+// travel wrapped (fmt.Errorf with %w) and are tested with
+// errors.Is/errors.As. Direct ==/!= against a sentinel silently breaks
+// the moment any layer wraps the error — which the fault-injection and
+// integrity paths all do — and string matching on Error() text breaks
+// on any message edit. Flagged shapes:
+//
+//   - err == ErrX / err != ErrX, and switch err { case ErrX: }
+//   - fmt.Errorf with a sentinel argument but no %w verb
+//   - comparing .Error() output with == / != / strings.Contains etc.
+var Errwrap = &engine.Analyzer{
+	Name: "errwrap",
+	Doc: "sentinel errors must be wrapped with %w and tested with errors.Is/As, " +
+		"never compared with == or matched as strings",
+	Run: func(pass *engine.Pass) (any, error) {
+		info := pass.TypesInfo
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					for _, side := range []ast.Expr{n.X, n.Y} {
+						if name, ok := sentinelRef(info, side); ok {
+							pass.Reportf(n.Pos(),
+								"%s compared with %s: use errors.Is, the sentinel may be wrapped", name, n.Op)
+						}
+						if isErrorStringCall(info, side) {
+							pass.Reportf(n.Pos(),
+								"comparing Error() text: match errors with errors.Is/As, not strings")
+						}
+					}
+				case *ast.SwitchStmt:
+					if n.Tag == nil || !isErrorExpr(info, n.Tag) {
+						return true
+					}
+					for _, stmt := range n.Body.List {
+						cc, ok := stmt.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, e := range cc.List {
+							if name, ok := sentinelRef(info, e); ok {
+								pass.Reportf(e.Pos(),
+									"switch on error compares %s with ==: use errors.Is, the sentinel may be wrapped", name)
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if fn, ok := pkgFuncCall(info, n, "fmt"); ok && fn == "Errorf" && len(n.Args) >= 2 {
+						format, ok := stringLit(n.Args[0])
+						if !ok || strings.Contains(format, "%w") {
+							return true
+						}
+						for _, arg := range n.Args[1:] {
+							if name, ok := sentinelRef(info, arg); ok {
+								pass.Reportf(arg.Pos(),
+									"sentinel %s passed to fmt.Errorf without %%w: the chain becomes opaque to errors.Is", name)
+							}
+						}
+					}
+					if fn, ok := pkgFuncCall(info, n, "strings"); ok {
+						switch fn {
+						case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+							for _, arg := range n.Args {
+								if isErrorStringCall(info, arg) {
+									pass.Reportf(n.Pos(),
+										"matching Error() text with strings.%s: use errors.Is/As instead", fn)
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// sentinelRef reports whether expr references a package-level error
+// variable named Err* (a sentinel), returning its display name.
+func sentinelRef(info *types.Info, expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !sentinelNameRE.MatchString(v.Name()) || !implementsError(v.Type()) {
+		return "", false
+	}
+	return types.ExprString(expr), true
+}
+
+// isErrorExpr reports whether expr has error type.
+func isErrorExpr(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	return t != nil && implementsError(t)
+}
+
+// isErrorStringCall reports whether expr is a call of the form
+// x.Error() on an error value.
+func isErrorStringCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorExpr(info, sel.X)
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/engine"
+)
+
+var randPkgs = []string{"math/rand", "math/rand/v2"}
+
+// randConstructors are the math/rand functions that build an explicit
+// stream (legal when seeded traceably) rather than draw from the
+// package-global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes an explicit *Rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Globalrand forbids the package-global math/rand source and
+// untraceable seeds. Every random stream in this repository must be an
+// explicit *rand.Rand derived from a seed value that flows in from a
+// parameter or config field, so that a run is reproducible from its
+// seed alone. Top-level rand.Intn etc. share one mutable global stream
+// (cross-package interference reorders draws), and seeds computed from
+// calls like time.Now().UnixNano() are not reproducible at all.
+var Globalrand = &engine.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid top-level math/rand functions and rand.New with an untraceable seed: " +
+		"every stream must derive from a seed parameter",
+	Run: func(pass *engine.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, pkg := range randPkgs {
+					name, ok := pkgFuncCall(pass.TypesInfo, call, pkg)
+					if !ok {
+						continue
+					}
+					if !randConstructors[name] {
+						pass.Reportf(call.Pos(),
+							"rand.%s draws from the package-global source; use an explicit rand.New(rand.NewSource(seed)) stream", name)
+						break
+					}
+					// Constructor: every call inside its arguments must
+					// itself be a rand constructor or a type conversion;
+					// anything else (time.Now().UnixNano(), os.Getpid(),
+					// crypto/rand reads) makes the seed untraceable.
+					for _, arg := range call.Args {
+						checkSeedExpr(pass, arg)
+					}
+					// Don't descend: nested constructor args were just
+					// checked, and descending would double-report them.
+					return false
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// checkSeedExpr walks a seed expression and reports any embedded call
+// that is neither a type conversion nor a rand constructor.
+func checkSeedExpr(pass *engine.Pass, expr ast.Expr) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion like int64(i)
+		}
+		for _, pkg := range randPkgs {
+			if name, ok := pkgFuncCall(pass.TypesInfo, call, pkg); ok && randConstructors[name] {
+				return true // nested rand.NewSource(...)
+			}
+		}
+		var buf []byte
+		if fn, ok := call.Fun.(*ast.SelectorExpr); ok {
+			buf = append(buf, fn.Sel.Name...)
+		} else if id, ok := call.Fun.(*ast.Ident); ok {
+			buf = append(buf, id.Name...)
+		}
+		pass.Reportf(call.Pos(),
+			"seed derives from a call (%s): seeds must be traceable values flowing from a parameter or config field", string(buf))
+		return false
+	})
+}

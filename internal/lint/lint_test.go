@@ -1,0 +1,49 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, lint.Walltime, "walltime")
+}
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, lint.Globalrand, "globalrand")
+}
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, lint.Maporder, "maporder")
+}
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, lint.Metricname, "metricname/a", "metricname/b")
+}
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, lint.Errwrap, "errwrap")
+}
+
+// TestAnalyzerMetadata pins the analyzer set: names are the //lint:allow
+// vocabulary and must stay stable.
+func TestAnalyzerMetadata(t *testing.T) {
+	want := []string{"walltime", "globalrand", "maporder", "metricname", "errwrap"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/engine"
+)
+
+// FindModuleRoot walks upward from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// RunPatterns loads and analyzes the packages named by go-style
+// patterns relative to the module root ("./..." for the whole module,
+// otherwise directory paths) and returns the sorted findings.
+func RunPatterns(moduleRoot string, patterns []string) ([]engine.Finding, error) {
+	loader, err := engine.NewLoader(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	var units []*engine.Unit
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, all...)
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(moduleRoot, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			all, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			for _, u := range all {
+				if u.Dir == base || strings.HasPrefix(u.Dir, base+string(filepath.Separator)) {
+					units = append(units, u)
+				}
+			}
+		default:
+			us, err := loader.LoadDirUnits(filepath.Join(moduleRoot, filepath.FromSlash(pat)))
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, us...)
+		}
+	}
+	return engine.Run(units, All())
+}

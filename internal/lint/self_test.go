@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoIsClean is the meta-test behind the CI gate: the full
+// analyzer suite, run over this repository exactly as
+// `go run ./cmd/pdsilint ./...` does, must produce zero findings. Any
+// new wall-clock read, global-rand draw, order-leaking map range,
+// malformed metric name, or unwrapped sentinel comparison fails this
+// test before it can perturb a golden snapshot.
+func TestRepoIsClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.RunPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("pdsilint run failed: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+	if len(findings) > 0 {
+		t.Fatalf("pdsilint found %d violation(s); fix them or add a //lint:allow with justification (see DESIGN.md)", len(findings))
+	}
+}

@@ -1,0 +1,62 @@
+// Package errwrap holds fixtures for the errwrap analyzer: direct
+// comparison and string matching of sentinel errors are flagged;
+// errors.Is/As and %w wrapping are not.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var ErrBoom = errors.New("boom")
+var ErrOther = errors.New("other")
+
+// notSentinel is unexported and lowercase: not matched by the Err[A-Z]
+// sentinel shape.
+var notSentinel = errors.New("background noise")
+
+func badCompare(err error) bool {
+	if err == ErrBoom { // want `ErrBoom compared with ==`
+		return true
+	}
+	return err != ErrOther // want `ErrOther compared with !=`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrBoom: // want `switch on error compares ErrBoom with ==`
+		return "boom"
+	case nil:
+		return ""
+	}
+	return "?"
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("context: %v", ErrBoom) // want `sentinel ErrBoom passed to fmt.Errorf without %w`
+}
+
+func badStringMatch(err error) bool {
+	if err.Error() == "boom" { // want `comparing Error\(\) text`
+		return true
+	}
+	return strings.Contains(err.Error(), "boom") // want `matching Error\(\) text with strings.Contains`
+}
+
+func good(err error) error {
+	if errors.Is(err, ErrBoom) {
+		return fmt.Errorf("saw boom: %w", err)
+	}
+	if err == nil {
+		return nil
+	}
+	if err == notSentinel {
+		return nil
+	}
+	return fmt.Errorf("wrapped: %w", ErrOther)
+}
+
+func allowed(err error) bool {
+	return err == ErrBoom //lint:allow errwrap -- fixture: escape hatch
+}

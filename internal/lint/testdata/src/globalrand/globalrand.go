@@ -1,0 +1,34 @@
+// Package globalrand holds fixtures for the globalrand analyzer: the
+// package-global math/rand source and untraceable seeds are flagged;
+// explicit streams seeded from parameters are not.
+package globalrand
+
+import (
+	"math/rand"
+	"os"
+)
+
+func bad(seed int64) {
+	_ = rand.Intn(10)                                // want `rand.Intn draws from the package-global source`
+	_ = rand.Float64()                               // want `rand.Float64 draws from the package-global source`
+	_ = rand.Perm(4)                                 // want `rand.Perm draws from the package-global source`
+	rand.Shuffle(2, swap)                            // want `rand.Shuffle draws from the package-global source`
+	rand.Seed(seed)                                  // want `rand.Seed draws from the package-global source`
+	_ = rand.New(rand.NewSource(int64(os.Getpid()))) // want `seed derives from a call \(Getpid\)`
+}
+
+func good(seed int64, cfg struct{ Seed int64 }) {
+	r := rand.New(rand.NewSource(seed))
+	_ = r.Intn(10)
+	_ = rand.New(rand.NewSource(cfg.Seed + int64(3)))
+	_ = rand.New(rand.NewSource(42))
+	src := rand.NewSource(seed ^ 7)
+	_ = rand.New(src)
+	_ = rand.NewZipf(r, 1.1, 1, 100)
+}
+
+func allowed() {
+	_ = rand.Int() //lint:allow globalrand -- fixture: escape hatch
+}
+
+func swap(i, j int) {}

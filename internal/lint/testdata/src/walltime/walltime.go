@@ -1,0 +1,36 @@
+// Package walltime holds fixtures for the walltime analyzer: wall-clock
+// reads are flagged, explicit time construction is not, and the
+// //lint:allow escape hatch suppresses both trailing and line-above.
+package walltime
+
+import (
+	"time"
+	wall "time"
+)
+
+func bad(d time.Duration) {
+	_ = time.Now()        // want `wall-clock call time.Now`
+	_ = time.Since(now()) // want `wall-clock call time.Since`
+	_ = time.Until(now()) // want `wall-clock call time.Until`
+	time.Sleep(d)         // want `wall-clock call time.Sleep`
+	_ = time.After(d)     // want `wall-clock call time.After`
+	_ = time.NewTimer(d)  // want `wall-clock call time.NewTimer`
+	_ = time.NewTicker(d) // want `wall-clock call time.NewTicker`
+	_ = wall.Now()        // want `wall-clock call time.Now`
+}
+
+func good() {
+	_ = time.Unix(0, 0)
+	_ = time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
+	_ = time.Duration(42) * time.Second
+	_ = now().Add(time.Second)
+}
+
+func allowed() {
+	_ = time.Now() //lint:allow walltime -- fixture: trailing directive
+	//lint:allow walltime -- fixture: directive on the line above
+	_ = time.Now()
+}
+
+// now stands in for a sim-time source so the good cases type-check.
+func now() time.Time { return time.Unix(0, 0) }

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/engine"
+)
+
+// wallFuncs are the package time functions that read or wait on the
+// wall clock. Formatting, parsing, and constructing time.Time values
+// from explicit components stay legal — only the ambient clock is
+// banned, because any value derived from it varies across runs and
+// breaks same-seed bit-identical output.
+var wallFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Walltime forbids reading the wall clock anywhere in the module.
+// Simulated components take time from the sim kernel; benchmark
+// harnesses measure elapsed wall time through obs.Stopwatch, whose
+// implementation file is the single sanctioned call site (marked with
+// //lint:allow walltime).
+var Walltime = &engine.Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/Since/Sleep and friends: simulation code must use sim time; " +
+		"harnesses must use obs.Stopwatch",
+	Run: func(pass *engine.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := pkgFuncCall(pass.TypesInfo, call, "time"); ok && wallFuncs[name] {
+					pass.Reportf(call.Pos(),
+						"wall-clock call time.%s: derive time from the simulation kernel, or use obs.Stopwatch in harnesses", name)
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}

@@ -1,0 +1,28 @@
+package obs
+
+import "time"
+
+// Stopwatch measures elapsed wall-clock time for the benchmark
+// harnesses (plfsbench -indexbench, pdsirepro's index/mdindex timing
+// loops) that report how fast the real machine runs, as opposed to the
+// simulators, which must never see a wall clock.
+//
+// This file is the one sanctioned wall-time call site in the module:
+// the walltime analyzer (cmd/pdsilint) forbids time.Now/time.Since
+// everywhere else, so every harness measurement funnels through here
+// and the escape-hatch surface stays a single file. Do not add
+// //lint:allow walltime anywhere else without updating DESIGN.md's
+// escape-hatch policy.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartStopwatch begins timing.
+func StartStopwatch() Stopwatch {
+	return Stopwatch{start: time.Now()} //lint:allow walltime -- the sanctioned harness stopwatch
+}
+
+// Elapsed returns the wall-clock time since StartStopwatch.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start) //lint:allow walltime -- the sanctioned harness stopwatch
+}

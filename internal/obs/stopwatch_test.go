@@ -1,0 +1,22 @@
+package obs
+
+import "testing"
+
+func TestStopwatch(t *testing.T) {
+	sw := StartStopwatch()
+	// Burn a little CPU so the clock observably advances even at coarse
+	// timer granularity.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	d1 := sw.Elapsed()
+	if d1 < 0 {
+		t.Fatalf("Elapsed() = %v, want >= 0", d1)
+	}
+	d2 := sw.Elapsed()
+	if d2 < d1 {
+		t.Fatalf("Elapsed() went backwards: %v then %v", d1, d2)
+	}
+}

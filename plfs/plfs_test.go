@@ -4,6 +4,7 @@ package plfs_test
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 
@@ -98,7 +99,7 @@ func TestPublicErrors(t *testing.T) {
 	c, _ := plfs.CreateContainer(backend, "/c", plfs.DefaultOptions())
 	w, _ := c.OpenWriter(0)
 	w.Close()
-	if _, err := w.WriteAt([]byte("x"), 0); err != plfs.ErrClosed {
+	if _, err := w.WriteAt([]byte("x"), 0); !errors.Is(err, plfs.ErrClosed) {
 		t.Fatalf("err = %v, want plfs.ErrClosed", err)
 	}
 }
