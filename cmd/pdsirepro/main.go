@@ -98,6 +98,9 @@ func main() {
 	figs := flag.String("fig", "all", "comma-separated experiment ids, or 'all'")
 	metrics := flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
 	trace := flag.String("trace", "", "write a Chrome trace-event file (Perfetto/chrome://tracing) to this file")
+	report := flag.String("report", "", "write a latency/SLO dashboard (exact quantiles, stage attribution, bottlenecks) to this file, or '-' for stdout; enables per-op stage timers")
+	timeseries := flag.String("timeseries", "", "write sim-time series as CSV to this file; enables windowed sampling")
+	tsWindow := flag.Float64("ts-window", 0.1, "sim-time series window in seconds (with -timeseries)")
 	flag.Parse()
 	var run []string
 	if *figs == "all" {
@@ -112,8 +115,14 @@ func main() {
 			run = append(run, f)
 		}
 	}
-	if *metrics != "" {
+	if *metrics != "" || *report != "" || *timeseries != "" {
 		probeReg = obs.NewRegistry()
+	}
+	if *report != "" {
+		probeReg.EnableOpTimers()
+	}
+	if *timeseries != "" {
+		probeReg.EnableTimeSeries(*tsWindow)
 	}
 	if *trace != "" {
 		probeTr = obs.NewTracer()
@@ -128,6 +137,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *report != "" {
+		snap := probeReg.Snapshot()
+		if err := writeFile(*report, func(w io.Writer) error { return obs.WriteReport(w, snap) }); err != nil {
+			fmt.Fprintf(os.Stderr, "writing report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *timeseries != "" {
+		if err := writeFile(*timeseries, probeReg.WriteSeriesCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "writing timeseries: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *trace != "" {
 		if err := writeFile(*trace, probeTr.WriteJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
@@ -136,8 +158,12 @@ func main() {
 	}
 }
 
-// writeFile creates path and streams write into it.
+// writeFile creates path and streams write into it; "-" writes to
+// stdout.
 func writeFile(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -361,8 +387,9 @@ func fig13() {
 // fig14: sustained random write degradation.
 func fig14() {
 	header("Figure 14 — sustained 4K random write IOPS over time per device")
-	for _, spec := range flash.AllTable1Devices() {
-		res := flash.SustainedRandomWrite(spec, 1.0, 60, 5, 99)
+	for i, spec := range flash.AllTable1Devices() {
+		res := flash.SustainedRandomWriteProbed(spec, 1.0, 60, 5, 99,
+			probeReg, fmt.Sprintf("flash.dev%02d", i))
 		fmt.Printf("%-32s ", spec.Name)
 		for _, w := range res {
 			fmt.Printf("%8.0f", w.IOPS)

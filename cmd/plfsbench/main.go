@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -30,34 +31,46 @@ import (
 	"repro/internal/workload"
 )
 
-// writeObs dumps the metrics snapshot and trace to the named files (empty
-// names skip). Exits non-zero on I/O errors so CI catches them.
-func writeObs(reg *obs.Registry, tr *obs.Tracer, metricsPath, tracePath string) {
-	if metricsPath != "" {
-		f, err := os.Create(metricsPath)
+// writeOut streams write into the named file ("-" for stdout, empty
+// skips). Exits non-zero on I/O errors so CI catches them.
+func writeOut(path, what string, write func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	var err error
+	if path == "-" {
+		err = write(os.Stdout)
+	} else {
+		var f *os.File
+		f, err = os.Create(path)
 		if err == nil {
-			err = reg.WriteJSON(f)
+			err = write(f)
 			if e := f.Close(); err == nil {
 				err = e
 			}
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
-			os.Exit(1)
 		}
 	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}
+
+// writeObs dumps the metrics snapshot, latency report, time series, and
+// trace to the named files (empty names skip).
+func writeObs(reg *obs.Registry, tr *obs.Tracer, metricsPath, reportPath, tsPath, tracePath string) {
+	if metricsPath != "" {
+		writeOut(metricsPath, "metrics", reg.WriteJSON)
+	}
+	if reportPath != "" {
+		snap := reg.Snapshot()
+		writeOut(reportPath, "report", func(w io.Writer) error { return obs.WriteReport(w, snap) })
+	}
+	if tsPath != "" {
+		writeOut(tsPath, "timeseries", reg.WriteSeriesCSV)
+	}
 	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err == nil {
-			err = tr.WriteJSON(f)
-			if e := f.Close(); err == nil {
-				err = e
-			}
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
-			os.Exit(1)
-		}
+		writeOut(tracePath, "trace", tr.WriteJSON)
 	}
 }
 
@@ -313,6 +326,9 @@ func main() {
 		computeSec = flag.Float64("compute", 0.5, "simulated compute seconds between checkpoints under -mtbf")
 		jsonPath   = flag.String("json", "", "write machine-readable results (JSON) to this file")
 		metrics    = flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
+		report     = flag.String("report", "", "write a latency/SLO dashboard (exact quantiles, stage attribution, bottlenecks) to this file, or '-' for stdout; enables per-op stage timers")
+		timeseries = flag.String("timeseries", "", "write sim-time series as CSV to this file; enables windowed sampling")
+		tsWindow   = flag.Float64("ts-window", 0.1, "sim-time series window in seconds (with -timeseries)")
 		trace      = flag.String("trace", "", "write a Chrome trace-event file (Perfetto/chrome://tracing) to this file")
 	)
 	flag.Parse()
@@ -325,13 +341,19 @@ func main() {
 
 	var reg *obs.Registry
 	var tr *obs.Tracer
-	if *metrics != "" {
+	if *metrics != "" || *report != "" || *timeseries != "" {
 		reg = obs.NewRegistry()
+	}
+	if *report != "" {
+		reg.EnableOpTimers()
+	}
+	if *timeseries != "" {
+		reg.EnableTimeSeries(*tsWindow)
 	}
 	if *trace != "" {
 		tr = obs.NewTracer()
 	}
-	defer writeObs(reg, tr, *metrics, *trace)
+	defer writeObs(reg, tr, *metrics, *report, *timeseries, *trace)
 
 	if *indexBench {
 		res := runIndexBench(*entries, *writers, *ingestW, reg)

@@ -1,0 +1,51 @@
+package disk
+
+import "testing"
+
+func TestAccessTimedDecompositionSumsToService(t *testing.T) {
+	d := New(Enterprise2006())
+	ref := New(Enterprise2006())
+	ops := []struct{ off, size int64 }{
+		{0, 64 << 10},        // sequential from park position
+		{64 << 10, 64 << 10}, // continues the stream: no positioning
+		{10 << 30, 4096},     // long seek
+		{10 << 30, 4096},     // rewrite in place: head moved past, seeks back
+		{100e9, 1 << 20},
+	}
+	for _, op := range ops {
+		svc, det := d.AccessTimed(op.off, op.size)
+		if got := det.SeekSec + det.RotationSec + det.TransferSec; float64(svc) != got {
+			t.Fatalf("Access(%d,%d): detail sums to %v, service %v", op.off, op.size, got, svc)
+		}
+		if want := ref.Access(op.off, op.size); svc != want {
+			t.Fatalf("AccessTimed(%d,%d) = %v, Access = %v", op.off, op.size, svc, want)
+		}
+		if det.TransferSec <= 0 {
+			t.Fatalf("Access(%d,%d): non-positive transfer %v", op.off, op.size, det.TransferSec)
+		}
+	}
+	// The second op streamed sequentially, so it must carry no
+	// positioning cost.
+	d2 := New(Enterprise2006())
+	d2.Access(0, 64<<10)
+	if _, det := d2.AccessTimed(64<<10, 64<<10); det.SeekSec != 0 || det.RotationSec != 0 {
+		t.Fatalf("sequential access paid positioning: %+v", det)
+	}
+}
+
+func TestAccessTimedZeroSize(t *testing.T) {
+	d := New(Enterprise2006())
+	svc, det := d.AccessTimed(100, 0)
+	if svc != 0 || det != (AccessDetail{}) {
+		t.Fatalf("zero-size access = %v, %+v", svc, det)
+	}
+}
+
+func TestAccessTimedAllocatesNothing(t *testing.T) {
+	d := New(Enterprise2006())
+	if n := testing.AllocsPerRun(100, func() {
+		d.AccessTimed(4096, 4096)
+	}); n != 0 {
+		t.Fatalf("AccessTimed allocated %v times per run, want 0", n)
+	}
+}

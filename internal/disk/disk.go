@@ -117,26 +117,42 @@ func (d *Disk) seekTime(from, to int64) float64 {
 	return d.Geom.TrackSeek + (d.Geom.FullSeek-d.Geom.TrackSeek)*math.Sqrt(frac)
 }
 
+// AccessDetail decomposes one I/O's service time into its mechanical
+// parts — the per-operation analogue of the accumulated Stats split.
+// Latency-attribution probes feed these into per-stage quantiles.
+type AccessDetail struct {
+	SeekSec     float64
+	RotationSec float64
+	TransferSec float64
+}
+
 // Access returns the service time for an I/O of size bytes at offset and
 // advances the head. Reads and writes are symmetric in this model.
 func (d *Disk) Access(offset, size int64) sim.Time {
+	t, _ := d.AccessTimed(offset, size)
+	return t
+}
+
+// AccessTimed is Access plus the mechanical decomposition of that one
+// I/O's service time. It allocates nothing, so probed hot paths can call
+// it unconditionally.
+func (d *Disk) AccessTimed(offset, size int64) (sim.Time, AccessDetail) {
+	var det AccessDetail
 	if size <= 0 {
-		return 0
+		return 0, det
 	}
-	var position float64
 	if offset != d.headPos {
-		seek := d.seekTime(d.headPos, offset)
-		rot := d.Geom.AvgRotation()
-		position = seek + rot
+		det.SeekSec = d.seekTime(d.headPos, offset)
+		det.RotationSec = d.Geom.AvgRotation()
 		d.stats.Positioned++
-		d.stats.SeekSec += seek
-		d.stats.RotationSec += rot
+		d.stats.SeekSec += det.SeekSec
+		d.stats.RotationSec += det.RotationSec
 	}
-	transfer := float64(size) / d.Geom.SeqBandwidth
+	det.TransferSec = float64(size) / d.Geom.SeqBandwidth
 	d.stats.Accesses++
-	d.stats.TransferSec += transfer
+	d.stats.TransferSec += det.TransferSec
 	d.headPos = offset + size
-	return sim.Time(position + transfer)
+	return sim.Time(det.SeekSec + det.RotationSec + det.TransferSec), det
 }
 
 // Stats returns the accumulated service-time decomposition.

@@ -15,6 +15,7 @@ package flash
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -52,6 +53,13 @@ type Device struct {
 	HostReads   int64
 	Relocations int64 // pages moved by GC
 	Erases      int64
+
+	// Instrument handles (see obs.go); nil until Instrument is called.
+	cPageWrites  *obs.Counter
+	cPageReads   *obs.Counter
+	cGC          *obs.Counter
+	cRelocations *obs.Counter
+	cErases      *obs.Counter
 }
 
 // Spec is a device description. Presets matching Table 1 of the report are
@@ -125,6 +133,7 @@ func (d *Device) ReadPage(lpn int) sim.Time {
 		panic(fmt.Sprintf("flash: read lpn %d out of range", lpn))
 	}
 	d.HostReads++
+	d.cPageReads.Inc()
 	return d.Spec.TRead
 }
 
@@ -162,6 +171,7 @@ func (d *Device) WritePage(lpn int) sim.Time {
 	b.valid++
 	d.mapping[lpn] = int32(ppn)
 	d.HostWrites++
+	d.cPageWrites.Inc()
 	return elapsed + d.Spec.TProg
 }
 
@@ -233,6 +243,7 @@ func (d *Device) pickVictim() int {
 // stream and erases the victim.
 func (d *Device) collect(victim int) sim.Time {
 	var elapsed sim.Time
+	d.cGC.Inc()
 	vb := &d.blocks[victim]
 	for p := 0; p < d.Spec.PagesPerBlock; p++ {
 		lpn := vb.pages[p]
@@ -251,6 +262,7 @@ func (d *Device) collect(victim int) sim.Time {
 		ob.valid++
 		d.mapping[lpn] = int32(ppn)
 		d.Relocations++
+		d.cRelocations.Inc()
 		elapsed += d.Spec.TProg
 	}
 	// Erase the victim and return it to the pool.
@@ -262,6 +274,7 @@ func (d *Device) collect(victim int) sim.Time {
 	}
 	vb.erases++
 	d.Erases++
+	d.cErases.Inc()
 	d.freeBlocks = append(d.freeBlocks, victim)
 	return elapsed + d.Spec.TErase
 }

@@ -1,0 +1,28 @@
+package flash
+
+import "repro/internal/obs"
+
+// Observability for the FTL. A Device is a synchronous model (callers
+// add its returned latencies to their own sim clocks), so its probes
+// are plain counters incremented inline plus gauges evaluated at
+// snapshot time. All handles are nil until Instrument is called — the
+// uninstrumented hot path pays one branch per probe, preserving the
+// package's standalone zero-dependency behaviour.
+
+// Instrument registers the device's FTL probes under the given metric
+// prefix (e.g. "flash.dev00"): host page reads/writes, GC invocations,
+// page relocations, block erases, and gauges for the pre-erased pool
+// depth, write amplification, and peak wear. A no-op on a nil registry.
+func (d *Device) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	d.cPageWrites = reg.Counter(prefix + ".page_writes")
+	d.cPageReads = reg.Counter(prefix + ".page_reads")
+	d.cGC = reg.Counter(prefix + ".gc_collections")
+	d.cRelocations = reg.Counter(prefix + ".gc_relocations")
+	d.cErases = reg.Counter(prefix + ".erases")
+	reg.GaugeFunc(prefix+".pool_depth", func() float64 { return float64(len(d.freeBlocks)) })
+	reg.GaugeFunc(prefix+".write_amp", func() float64 { return d.WriteAmplification() })
+	reg.GaugeFunc(prefix+".max_wear", func() float64 { return float64(d.MaxWear()) })
+}

@@ -3,6 +3,7 @@ package flash
 import (
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -20,7 +21,22 @@ type SweepResult struct {
 // plateau, the cliff when the pre-erased pool drains, and the steady state
 // set by overprovisioning.
 func SustainedRandomWrite(spec Spec, spanFraction float64, duration, window sim.Time, seed int64) []SweepResult {
+	return SustainedRandomWriteProbed(spec, spanFraction, duration, window, seed, nil, "")
+}
+
+// SustainedRandomWriteProbed is SustainedRandomWrite with the device's
+// FTL probes registered under prefix in reg (both may be zero for an
+// unprobed run; the workload itself is unchanged either way). When the
+// registry has series enabled, the pool depth and write amplification
+// are also recorded as sim-time series per measurement window.
+func SustainedRandomWriteProbed(spec Spec, spanFraction float64, duration, window sim.Time, seed int64, reg *obs.Registry, prefix string) []SweepResult {
 	d := NewDevice(spec)
+	d.Instrument(reg, prefix)
+	var tsPool, tsAmp *obs.TimeSeries
+	if reg.SeriesWindow() > 0 && prefix != "" {
+		tsPool = reg.TimeSeries(prefix + ".pool_depth")
+		tsAmp = reg.TimeSeries(prefix + ".write_amp")
+	}
 	r := rand.New(rand.NewSource(seed))
 	span := int(float64(spec.UserPages) * spanFraction)
 	if span < 1 {
@@ -41,6 +57,8 @@ func SustainedRandomWrite(spec Spec, spanFraction float64, duration, window sim.
 				FreePool:    d.FreeBlocks(),
 				WriteAmp:    d.WriteAmplification(),
 			})
+			tsPool.Observe(float64(now), float64(d.FreeBlocks()))
+			tsAmp.Observe(float64(now), d.WriteAmplification())
 			windowStart = now
 			writesInWindow = 0
 		}

@@ -24,13 +24,18 @@ var traceCatRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 // metricUse is one literal metric-name registration site.
 type metricUse struct {
 	Name string
-	Kind string // "Counter", "Gauge", "GaugeFunc", "Histogram"
+	Kind string // a registryKinds key, e.g. "Counter" or "Quantile"
 	Pkg  string
 	Pos  token.Pos
 }
 
+// registryKinds are the obs.Registry constructors whose first argument
+// is a literal metric name subject to the grammar. OpTimerSet's base
+// name expands into derived .latency_s/.stage.*/.bottleneck.* names at
+// runtime; checking the literal base keeps the whole family legal.
 var registryKinds = map[string]bool{
 	"Counter": true, "Gauge": true, "GaugeFunc": true, "Histogram": true,
+	"Quantile": true, "TimeSeries": true, "OpTimerSet": true,
 }
 
 var tracerNameMethods = map[string]bool{

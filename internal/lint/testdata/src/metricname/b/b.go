@@ -8,4 +8,5 @@ func register(reg *obs.Registry) {
 	reg.Counter("dup.metric.count") // want `metric "dup.metric.count" is already registered by package metricname/a`
 	reg.Counter("pkg.read.count")
 	reg.GaugeFunc("pkg.mixed.kind", func() float64 { return 0 }) // want `metric "pkg.mixed.kind" registered as both Gauge \(metricname/a\) and GaugeFunc \(metricname/b\)`
+	reg.Quantile("pkg.queue.depth")                              // want `metric "pkg.queue.depth" registered as both Gauge \(metricname/a\) and Quantile \(metricname/b\)`
 }

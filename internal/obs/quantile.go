@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Quantile records every observation exactly and reports exact
+// nearest-rank quantiles at snapshot time. Unlike Histogram, which trades
+// precision for fixed memory, a Quantile keeps the full sample set — the
+// right trade for per-operation latency SLOs, where a simulated run
+// observes thousands of operations (not billions) and the report must
+// state p99/p999 exactly, byte-identically across runs.
+//
+// The zero of a nil *Quantile is a valid no-op instrument, matching the
+// other obs handles: probe sites call Observe unconditionally and pay one
+// branch when analytics are disabled.
+type Quantile struct {
+	mu      sync.Mutex
+	samples []float64
+	sum     float64
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (q *Quantile) Observe(v float64) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.samples = append(q.samples, v)
+	q.sum += v
+	q.mu.Unlock()
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (q *Quantile) Count() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.samples)
+}
+
+// QuantileSnapshot is the serialized state of one quantile metric. The
+// reported ranks are exact (nearest-rank over the full sorted sample
+// set), not estimates.
+type QuantileSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// rank returns the exact nearest-rank q-quantile (0 < q <= 1) of sorted,
+// which must be ascending and non-empty.
+func rank(sorted []float64, q float64) float64 {
+	i := int(math.Ceil(float64(len(sorted))*q)) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func (q *Quantile) snapshot() QuantileSnapshot {
+	q.mu.Lock()
+	sorted := append([]float64(nil), q.samples...)
+	sum := q.sum
+	q.mu.Unlock()
+	s := QuantileSnapshot{Count: uint64(len(sorted)), Sum: finite(sum)}
+	if len(sorted) == 0 {
+		return s
+	}
+	sort.Float64s(sorted)
+	s.Min = finite(sorted[0])
+	s.Max = finite(sorted[len(sorted)-1])
+	s.P50 = finite(rank(sorted, 0.50))
+	s.P90 = finite(rank(sorted, 0.90))
+	s.P99 = finite(rank(sorted, 0.99))
+	s.P999 = finite(rank(sorted, 0.999))
+	return s
+}
+
+// Quantile returns the named exact-quantile metric, creating it on first
+// use. Returns nil (a valid no-op instrument) on a nil registry.
+func (r *Registry) Quantile(name string) *Quantile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q, ok := r.quants[name]
+	if !ok {
+		q = &Quantile{}
+		r.quants[name] = q
+	}
+	return q
+}

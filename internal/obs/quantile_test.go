@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// bruteRank is the reference nearest-rank quantile: the smallest sample
+// such that at least q of the population is <= it.
+func bruteRank(samples []float64, q float64) float64 {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	for i, v := range sorted {
+		if float64(i+1)/float64(n) >= q {
+			return v
+		}
+	}
+	return sorted[n-1]
+}
+
+func TestQuantileExactAgainstBruteForce(t *testing.T) {
+	// A deterministic but scrambled sample set (LCG, no global rand).
+	for _, n := range []int{1, 2, 3, 10, 99, 100, 101, 1000} {
+		r := NewRegistry()
+		q := r.Quantile("test.latency_s")
+		x := uint64(12345)
+		var samples []float64
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			v := float64(x%1000000) / 1e6
+			samples = append(samples, v)
+			q.Observe(v)
+		}
+		s := r.Snapshot().Quantiles["test.latency_s"]
+		if s.Count != uint64(n) {
+			t.Fatalf("n=%d: Count = %d", n, s.Count)
+		}
+		var sum, min, max float64
+		min, max = samples[0], samples[0]
+		for _, v := range samples {
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if math.Abs(s.Sum-sum) > 1e-12 || s.Min != min || s.Max != max {
+			t.Fatalf("n=%d: sum/min/max = %v/%v/%v, want %v/%v/%v",
+				n, s.Sum, s.Min, s.Max, sum, min, max)
+		}
+		for _, c := range []struct {
+			q    float64
+			got  float64
+			name string
+		}{
+			{0.50, s.P50, "p50"}, {0.90, s.P90, "p90"},
+			{0.99, s.P99, "p99"}, {0.999, s.P999, "p999"},
+		} {
+			if want := bruteRank(samples, c.q); c.got != want {
+				t.Fatalf("n=%d: %s = %v, want %v", n, c.name, c.got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileNilSafe(t *testing.T) {
+	var q *Quantile
+	q.Observe(1)
+	if q.Count() != 0 {
+		t.Fatalf("nil quantile Count = %d", q.Count())
+	}
+	var r *Registry
+	if r.Quantile("x.y") != nil {
+		t.Fatal("nil registry returned a non-nil quantile")
+	}
+}
+
+func TestSnapshotOmitsEmptyQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pkg.ops.count").Inc()
+	buf, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(buf), "quantiles") || strings.Contains(string(buf), "timeseries") {
+		t.Fatalf("snapshot without analytics serialized analytics keys: %s", buf)
+	}
+	r.Quantile("pkg.latency.seconds").Observe(1)
+	buf, err = json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), "quantiles") {
+		t.Fatalf("snapshot with a quantile lost it: %s", buf)
+	}
+}
+
+func BenchmarkQuantileObserve(b *testing.B) {
+	r := NewRegistry()
+	q := r.Quantile("bench.latency_s")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Observe(float64(i))
+	}
+}

@@ -183,6 +183,14 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	gaugeFns map[string]func() float64
 	hists    map[string]*Histogram
+	quants   map[string]*Quantile
+	series   map[string]*TimeSeries
+
+	// Opt-in analytics switches. Both default off so a plain registry's
+	// snapshot is byte-identical to what it was before these layers
+	// existed; see EnableOpTimers and EnableTimeSeries.
+	opTimers     bool
+	seriesWindow float64
 }
 
 // NewRegistry returns an empty registry.
@@ -192,6 +200,8 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		gaugeFns: make(map[string]func() float64),
 		hists:    make(map[string]*Histogram),
+		quants:   make(map[string]*Quantile),
+		series:   make(map[string]*TimeSeries),
 	}
 }
 
@@ -276,6 +286,11 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+
+	// Quantiles and Series exist only on analytics-enabled runs; omitempty
+	// keeps default snapshots byte-identical to the pre-analytics golden.
+	Quantiles map[string]QuantileSnapshot   `json:"quantiles,omitempty"`
+	Series    map[string]TimeSeriesSnapshot `json:"timeseries,omitempty"`
 }
 
 // Snapshot captures current values, evaluating gauge callbacks. A nil
@@ -306,6 +321,14 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	quants := make(map[string]*Quantile, len(r.quants))
+	for k, v := range r.quants {
+		quants[k] = v
+	}
+	series := make(map[string]*TimeSeries, len(r.series))
+	for k, v := range r.series {
+		series[k] = v
+	}
 	r.mu.Unlock()
 
 	for k, c := range counters {
@@ -319,6 +342,18 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, h := range hists {
 		s.Histograms[k] = h.snapshot()
+	}
+	if len(quants) > 0 {
+		s.Quantiles = make(map[string]QuantileSnapshot, len(quants))
+		for k, q := range quants {
+			s.Quantiles[k] = q.snapshot()
+		}
+	}
+	if len(series) > 0 {
+		s.Series = make(map[string]TimeSeriesSnapshot, len(series))
+		for k, ts := range series {
+			s.Series[k] = ts.snapshot()
+		}
 	}
 	return s
 }

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Report rendering: turn an analytics-enabled Snapshot into the textual
+// dashboard behind `pdsirepro -report` — an SLO table of exact latency
+// quantiles, a per-stage attribution breakdown with a top-bottleneck
+// summary, the busiest servers by utilization, and sim-time utilization
+// sparklines. Everything renders from sorted keys with fixed-precision
+// formatting, so the same snapshot always produces identical bytes.
+
+const sparkRunes = "▁▂▃▄▅▆▇█"
+
+// sortedKeys returns m's keys in sorted order, for deterministic output.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sparkline renders vals resampled to at most width cells, scaled
+// between min and max.
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	n := len(vals)
+	if width > n {
+		width = n
+	}
+	runes := []rune(sparkRunes)
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		v := vals[i*n/width]
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(runes)-1))
+		}
+		b.WriteRune(runes[idx])
+	}
+	return b.String()
+}
+
+// stageKey splits a per-stage quantile name "<base>.stage.<stage>_s"
+// into its base and stage segment; ok is false for any other shape.
+func stageKey(name string) (base, stage string, ok bool) {
+	i := strings.Index(name, ".stage.")
+	if i < 0 || !strings.HasSuffix(name, "_s") {
+		return "", "", false
+	}
+	return name[:i], strings.TrimSuffix(name[i+len(".stage."):], "_s"), true
+}
+
+// WriteReport renders the snapshot as a textual dashboard. It is useful
+// only on analytics-enabled snapshots (quantiles and/or series
+// present); sections with no data render a single "(none)" line so the
+// report shape is stable.
+func WriteReport(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	writeSLOTable(bw, s)
+	writeStageAttribution(bw, s)
+	writeBottlenecks(bw, s)
+	writeBusiest(bw, s)
+	writeTimelines(bw, s)
+
+	return bw.Flush()
+}
+
+// writeSLOTable prints exact end-to-end quantiles for every
+// non-stage quantile metric.
+func writeSLOTable(bw *bufio.Writer, s Snapshot) {
+	fmt.Fprintf(bw, "== Latency SLOs (exact quantiles, seconds) ==\n")
+	fmt.Fprintf(bw, "%-36s %8s %12s %12s %12s %12s %12s\n",
+		"metric", "count", "p50", "p90", "p99", "p999", "max")
+	rows := 0
+	for _, name := range sortedKeys(s.Quantiles) {
+		if _, _, isStage := stageKey(name); isStage {
+			continue
+		}
+		q := s.Quantiles[name]
+		fmt.Fprintf(bw, "%-36s %8d %12.6f %12.6f %12.6f %12.6f %12.6f\n",
+			name, q.Count, q.P50, q.P90, q.P99, q.P999, q.Max)
+		rows++
+	}
+	if rows == 0 {
+		fmt.Fprintf(bw, "(none)\n")
+	}
+	fmt.Fprintf(bw, "\n")
+}
+
+// writeStageAttribution prints, per operation kind, each stage's
+// accumulated seconds, its share of the total accumulated latency, and
+// exact stage quantiles. The residual row is total minus attributed:
+// positive residual is unattributed cost (RPC timeouts, repair reads),
+// negative means stages overlapped in parallel across striped pieces.
+func writeStageAttribution(bw *bufio.Writer, s Snapshot) {
+	fmt.Fprintf(bw, "== Stage attribution (per-op accumulated seconds) ==\n")
+	type stageRow struct {
+		stage string
+		q     QuantileSnapshot
+	}
+	groups := map[string][]stageRow{}
+	for _, name := range sortedKeys(s.Quantiles) {
+		base, stage, ok := stageKey(name)
+		if !ok {
+			continue
+		}
+		groups[base] = append(groups[base], stageRow{stage, s.Quantiles[name]})
+	}
+	if len(groups) == 0 {
+		fmt.Fprintf(bw, "(none)\n\n")
+		return
+	}
+	for _, base := range sortedKeys(groups) {
+		total, hasTotal := s.Quantiles[base+".latency_s"]
+		fmt.Fprintf(bw, "%s (%d ops, %.6f s total latency)\n", base, total.Count, total.Sum)
+		fmt.Fprintf(bw, "  %-14s %14s %7s %12s %12s %12s\n",
+			"stage", "total_s", "share", "p50", "p99", "p999")
+		attributed := 0.0
+		// Rows sort by accumulated seconds, heaviest first; ties break
+		// on the stage name so output stays deterministic.
+		rows := groups[base]
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].q.Sum != rows[j].q.Sum {
+				return rows[i].q.Sum > rows[j].q.Sum
+			}
+			return rows[i].stage < rows[j].stage
+		})
+		for _, row := range rows {
+			share := 0.0
+			if hasTotal && total.Sum > 0 {
+				share = row.q.Sum / total.Sum * 100
+			}
+			fmt.Fprintf(bw, "  %-14s %14.6f %6.1f%% %12.6f %12.6f %12.6f\n",
+				row.stage, row.q.Sum, share, row.q.P50, row.q.P99, row.q.P999)
+			attributed += row.q.Sum
+		}
+		if hasTotal {
+			fmt.Fprintf(bw, "  %-14s %14.6f\n", "residual", total.Sum-attributed)
+		}
+	}
+	fmt.Fprintf(bw, "\n")
+}
+
+// writeBottlenecks prints the top-k table of dominant stages: for each
+// operation kind, how many ops spent most of their attributed time in
+// each stage.
+func writeBottlenecks(bw *bufio.Writer, s Snapshot) {
+	fmt.Fprintf(bw, "== Top bottlenecks (ops dominated by stage) ==\n")
+	type row struct {
+		base, stage string
+		n           int64
+	}
+	byBase := map[string][]row{}
+	var totals = map[string]int64{}
+	for _, name := range sortedKeys(s.Counters) {
+		i := strings.Index(name, ".bottleneck.")
+		if i < 0 {
+			continue
+		}
+		n := s.Counters[name]
+		if n == 0 {
+			continue
+		}
+		base, stage := name[:i], name[i+len(".bottleneck."):]
+		byBase[base] = append(byBase[base], row{base, stage, n})
+		totals[base] += n
+	}
+	if len(byBase) == 0 {
+		fmt.Fprintf(bw, "(none)\n\n")
+		return
+	}
+	fmt.Fprintf(bw, "%-14s %-14s %10s %7s\n", "op", "stage", "ops", "share")
+	for _, base := range sortedKeys(byBase) {
+		rows := byBase[base]
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].stage < rows[j].stage
+		})
+		for _, r := range rows {
+			fmt.Fprintf(bw, "%-14s %-14s %10d %6.1f%%\n",
+				r.base, r.stage, r.n, float64(r.n)/float64(totals[base])*100)
+		}
+	}
+	fmt.Fprintf(bw, "\n")
+}
+
+// writeBusiest prints the top-k utilization gauges — the busiest NICs,
+// disk queues, and metadata servers of the run.
+func writeBusiest(bw *bufio.Writer, s Snapshot) {
+	const topK = 10
+	fmt.Fprintf(bw, "== Busiest servers (top %d by utilization) ==\n", topK)
+	type row struct {
+		name string
+		util float64
+	}
+	var rows []row
+	for _, name := range sortedKeys(s.Gauges) {
+		if strings.HasSuffix(name, ".utilization") {
+			rows = append(rows, row{name, s.Gauges[name]})
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Fprintf(bw, "(none)\n\n")
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].util != rows[j].util {
+			return rows[i].util > rows[j].util
+		}
+		return rows[i].name < rows[j].name
+	})
+	if len(rows) > topK {
+		rows = rows[:topK]
+	}
+	for _, r := range rows {
+		fmt.Fprintf(bw, "%-36s %8.4f\n", r.name, r.util)
+	}
+	fmt.Fprintf(bw, "\n")
+}
+
+// writeTimelines prints one sparkline per sim-time series.
+func writeTimelines(bw *bufio.Writer, s Snapshot) {
+	fmt.Fprintf(bw, "== Timelines (sim-time series) ==\n")
+	if len(s.Series) == 0 {
+		fmt.Fprintf(bw, "(none)\n")
+		return
+	}
+	for _, name := range sortedKeys(s.Series) {
+		ts := s.Series[name]
+		if len(ts.Values) == 0 {
+			continue
+		}
+		lo, hi := ts.Values[0], ts.Values[0]
+		for _, v := range ts.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Fprintf(bw, "%-36s [%.4g..%.4g] %s\n", name, lo, hi, sparkline(ts.Values, 60))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -178,25 +179,42 @@ func (fs *FS) survivor(down *server) *server {
 // neighbour reads the remaining stripe fragments plus parity from its own
 // disk, reconstructs the data, and ships it — DegradedPenalty× the
 // nominal disk cost on the neighbour's queues.
-func (fs *FS) readDegraded(alt, home *server, st *fileState, p subOp, done func(error)) {
+func (fs *FS) readDegraded(alt, home *server, st *fileState, p subOp, ot *obs.OpTimer, done func(error)) {
 	key := stripeKey{file: st.id, unit: p.unit}
 	diskOff, ok := home.extent[key]
 	if !ok {
 		// Hole: nothing to reconstruct.
-		alt.dq.Submit(0, func(sim.Time) { done(nil) })
+		enq := fs.eng.Now()
+		alt.dq.Submit(0, func(at sim.Time) {
+			ot.Add(obs.StageQueue, float64(at-enq))
+			done(nil)
+		})
 		return
 	}
-	svc := sim.Time(float64(alt.dsk.Access(diskOff+p.offIn, p.size)) * fs.degradedPenalty())
+	base, det := alt.dsk.AccessTimed(diskOff+p.offIn, p.size)
+	svc := sim.Time(float64(base) * fs.degradedPenalty())
+	ot.Add(obs.StageDiskSeek, det.SeekSec)
+	ot.Add(obs.StageDiskRotation, det.RotationSec)
+	ot.Add(obs.StageDiskTransfer, det.TransferSec)
+	ot.Add(obs.StageDegraded, float64(svc-base))
 	alt.bytesRead += p.size
 	alt.cOps.Inc()
 	alt.cBytesR.Add(p.size)
 	epoch := alt.epoch
-	alt.dq.Submit(svc, func(sim.Time) {
+	enq := fs.eng.Now()
+	alt.dq.Submit(svc, func(at sim.Time) {
+		ot.Add(obs.StageQueue, float64(at-enq-svc))
 		if alt.epoch != epoch {
 			// The neighbour died mid-reconstruction too.
 			fs.failOp(done)
 			return
 		}
-		alt.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) { done(nil) })
+		xfer := sim.Time(float64(p.size) / fs.Cfg.ServerNetBW)
+		enq2 := fs.eng.Now()
+		alt.nic.Submit(xfer, func(at2 sim.Time) {
+			ot.Add(obs.StageNet, float64(xfer))
+			ot.Add(obs.StageQueue, float64(at2-enq2-xfer))
+			done(nil)
+		})
 	})
 }

@@ -1,6 +1,10 @@
 package pfs
 
-import "repro/internal/sim"
+import (
+	"repro/internal/disk"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // File is a client handle on a file.
 type File struct {
@@ -169,8 +173,32 @@ func (c *Client) Write(f *File, off, size int64, done func()) {
 // when any piece's server crashed before acknowledging. The file size
 // only advances on full success, so a failed checkpoint write leaves no
 // phantom extent. Fault-free runs follow the exact event sequence of
-// Write — the error plumbing costs a nil comparison per piece.
+// Write — the error plumbing costs a nil comparison per piece. When op
+// timers are enabled the write carries a stage timer, observed into the
+// pfs.write quantiles on success.
 func (c *Client) WriteErr(f *File, off, size int64, done func(error)) {
+	set := c.fs.otWrite
+	if set == nil {
+		c.WriteOp(f, off, size, nil, done)
+		return
+	}
+	ot := c.fs.StartWriteOp()
+	c.WriteOp(f, off, size, ot, func(err error) {
+		if err == nil {
+			c.fs.FinishWriteOp(ot)
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// WriteOp is WriteErr with a caller-owned stage timer: ot (which may be
+// nil) accumulates per-stage sim-time but is NOT observed at
+// completion, so a retry loop can carry one timer across attempts and
+// fold it in once via FinishWriteOp. The event trajectory is identical
+// to WriteErr's.
+func (c *Client) WriteOp(f *File, off, size int64, ot *obs.OpTimer, done func(error)) {
 	if size <= 0 {
 		if done != nil {
 			c.fs.eng.Schedule(0, func() { done(nil) })
@@ -180,8 +208,15 @@ func (c *Client) WriteErr(f *File, off, size int64, done func(error)) {
 	fs := c.fs
 	done = c.traceIOSpan("write", off, size, done)
 	pieces := split(off, size, fs.Cfg.StripeUnit)
+	track := fs.tsOn
+	if track {
+		fs.inflight++
+	}
 	var firstErr error
 	barrier := sim.NewBarrier(fs.eng, len(pieces), func(sim.Time) {
+		if track {
+			fs.inflight--
+		}
 		if firstErr == nil {
 			if end := off + size; end > f.st.size {
 				f.st.size = end
@@ -200,13 +235,17 @@ func (c *Client) WriteErr(f *File, off, size int64, done func(error)) {
 	for _, p := range pieces {
 		p := p
 		// The client's link serializes its own pieces.
-		c.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ClientNetBW), func(sim.Time) {
-			fs.writePiece(c.id, f.st, p, arrive)
+		xfer := sim.Time(float64(p.size) / fs.Cfg.ClientNetBW)
+		enq := fs.eng.Now()
+		c.nic.Submit(xfer, func(at sim.Time) {
+			ot.Add(obs.StageNet, float64(xfer))
+			ot.Add(obs.StageQueue, float64(at-enq-xfer))
+			fs.writePiece(c.id, f.st, p, ot, arrive)
 		})
 	}
 }
 
-func (fs *FS) writePiece(clientID int, st *fileState, p subOp, done func(error)) {
+func (fs *FS) writePiece(clientID int, st *fileState, p subOp, ot *obs.OpTimer, done func(error)) {
 	lockSpan := fs.Cfg.LockGranularity
 	if lockSpan <= 0 {
 		lockSpan = fs.Cfg.StripeUnit
@@ -214,6 +253,7 @@ func (fs *FS) writePiece(clientID int, st *fileState, p subOp, done func(error))
 	key := stripeKey{file: st.id, unit: (p.unit*fs.Cfg.StripeUnit + p.offIn) / lockSpan}
 	srv := fs.serverFor(st, p.unit)
 	perform := func(release bool) {
+		ot.Add(obs.StageRPC, float64(fs.Cfg.RPCLatency))
 		fs.eng.Schedule(fs.Cfg.RPCLatency, func() {
 			// RPC arrival at a dead server: nothing answers, the client's
 			// timeout fires, and any stripe lock it held sits out its lease.
@@ -222,13 +262,17 @@ func (fs *FS) writePiece(clientID int, st *fileState, p subOp, done func(error))
 				return
 			}
 			epoch := srv.epoch
-			srv.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) {
+			xfer := sim.Time(float64(p.size) / fs.Cfg.ServerNetBW)
+			enq := fs.eng.Now()
+			srv.nic.Submit(xfer, func(at sim.Time) {
+				ot.Add(obs.StageNet, float64(xfer))
+				ot.Add(obs.StageQueue, float64(at-enq-xfer))
 				if srv.epoch != epoch {
 					// Crashed while the payload was in its NIC queue.
 					fs.failWrite(key, release, done)
 					return
 				}
-				srv.write(fs, st, p, func(err error) {
+				srv.write(fs, st, p, ot, func(err error) {
 					if err != nil {
 						fs.failWrite(key, release, done)
 						return
@@ -242,7 +286,11 @@ func (fs *FS) writePiece(clientID int, st *fileState, p subOp, done func(error))
 		})
 	}
 	if fs.Cfg.LockRevoke > 0 {
-		fs.acquire(key, clientID, func() { perform(true) })
+		lockReq := fs.eng.Now()
+		fs.acquire(key, clientID, func() {
+			ot.Add(obs.StageLockWait, float64(fs.eng.Now()-lockReq))
+			perform(true)
+		})
 	} else {
 		perform(false)
 	}
@@ -252,7 +300,7 @@ func (fs *FS) writePiece(clientID int, st *fileState, p subOp, done func(error))
 // non-nil error when the server crashes before the write is acknowledged
 // (detected by epoch comparison at disk completion — the in-flight
 // operation's ack died with the server).
-func (s *server) write(fs *FS, st *fileState, p subOp, done func(error)) {
+func (s *server) write(fs *FS, st *fileState, p subOp, ot *obs.OpTimer, done func(error)) {
 	key := stripeKey{file: st.id, unit: p.unit}
 	diskOff, ok := s.extent[key]
 	if !ok {
@@ -262,20 +310,33 @@ func (s *server) write(fs *FS, st *fileState, p subOp, done func(error)) {
 	}
 	full := p.offIn == 0 && p.size == fs.Cfg.StripeUnit
 	var svc sim.Time
+	var det disk.AccessDetail
 	if !full && fs.Cfg.RMWPartialStripe && ok {
 		// Partial overwrite of an existing unit: read it, modify, write it
 		// back — two unit-sized disk ops.
-		svc = s.dsk.Access(diskOff, fs.Cfg.StripeUnit) + s.dsk.Access(diskOff, fs.Cfg.StripeUnit)
+		t1, d1 := s.dsk.AccessTimed(diskOff, fs.Cfg.StripeUnit)
+		t2, d2 := s.dsk.AccessTimed(diskOff, fs.Cfg.StripeUnit)
+		svc = t1 + t2
+		det = disk.AccessDetail{
+			SeekSec:     d1.SeekSec + d2.SeekSec,
+			RotationSec: d1.RotationSec + d2.RotationSec,
+			TransferSec: d1.TransferSec + d2.TransferSec,
+		}
 		fs.cRMW.Inc()
 		s.cRMW.Inc()
 	} else {
-		svc = s.dsk.Access(diskOff+p.offIn, p.size)
+		svc, det = s.dsk.AccessTimed(diskOff+p.offIn, p.size)
 	}
+	ot.Add(obs.StageDiskSeek, det.SeekSec)
+	ot.Add(obs.StageDiskRotation, det.RotationSec)
+	ot.Add(obs.StageDiskTransfer, det.TransferSec)
 	s.bytesWritten += p.size
 	s.cOps.Inc()
 	s.cBytesW.Add(p.size)
 	epoch := s.epoch
-	s.dq.Submit(svc, func(sim.Time) {
+	enq := fs.eng.Now()
+	s.dq.Submit(svc, func(at sim.Time) {
+		ot.Add(obs.StageQueue, float64(at-enq-svc))
 		if s.epoch != epoch {
 			done(ErrServerDown)
 			return
@@ -300,7 +361,27 @@ func (c *Client) Read(f *File, off, size int64, done func()) {
 // ReadErr is Read with failure reporting. A piece whose home server is
 // down is reconstructed from parity by a surviving neighbour at degraded
 // cost; done receives ErrServerDown only when no server can serve it.
+// When op timers are enabled the read carries a stage timer, observed
+// into the pfs.read quantiles on success.
 func (c *Client) ReadErr(f *File, off, size int64, done func(error)) {
+	set := c.fs.otRead
+	if set == nil {
+		c.ReadOp(f, off, size, nil, done)
+		return
+	}
+	ot := c.fs.StartReadOp()
+	c.ReadOp(f, off, size, ot, func(err error) {
+		if err == nil {
+			c.fs.FinishReadOp(ot)
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// ReadOp is ReadErr with a caller-owned stage timer (see WriteOp).
+func (c *Client) ReadOp(f *File, off, size int64, ot *obs.OpTimer, done func(error)) {
 	if size <= 0 {
 		if done != nil {
 			c.fs.eng.Schedule(0, func() { done(nil) })
@@ -310,8 +391,15 @@ func (c *Client) ReadErr(f *File, off, size int64, done func(error)) {
 	fs := c.fs
 	done = c.traceIOSpan("read", off, size, done)
 	pieces := split(off, size, fs.Cfg.StripeUnit)
+	track := fs.tsOn
+	if track {
+		fs.inflight++
+	}
 	var firstErr error
 	barrier := sim.NewBarrier(fs.eng, len(pieces), func(sim.Time) {
+		if track {
+			fs.inflight--
+		}
 		if done != nil {
 			done(firstErr)
 		}
@@ -325,13 +413,18 @@ func (c *Client) ReadErr(f *File, off, size int64, done func(error)) {
 	for _, p := range pieces {
 		p := p
 		srv := fs.serverFor(f.st, p.unit)
+		ot.Add(obs.StageRPC, float64(fs.Cfg.RPCLatency))
 		fs.eng.Schedule(fs.Cfg.RPCLatency, func() {
-			fs.readPiece(srv, f.st, p, func(err error) {
+			fs.readPiece(srv, f.st, p, ot, func(err error) {
 				if err != nil {
 					arrive(err)
 					return
 				}
-				c.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ClientNetBW), func(sim.Time) {
+				xfer := sim.Time(float64(p.size) / fs.Cfg.ClientNetBW)
+				enq := fs.eng.Now()
+				c.nic.Submit(xfer, func(at sim.Time) {
+					ot.Add(obs.StageNet, float64(xfer))
+					ot.Add(obs.StageQueue, float64(at-enq-xfer))
 					arrive(nil)
 				})
 			})
@@ -343,7 +436,7 @@ func (c *Client) ReadErr(f *File, off, size int64, done func(error)) {
 // penalty cost while it rebuilds), to a surviving neighbour's parity
 // reconstruction when it is down, or to a timeout error when the whole
 // array is gone.
-func (fs *FS) readPiece(srv *server, st *fileState, p subOp, done func(error)) {
+func (fs *FS) readPiece(srv *server, st *fileState, p subOp, ot *obs.OpTimer, done func(error)) {
 	if srv.down {
 		alt := fs.survivor(srv)
 		if alt == nil {
@@ -352,44 +445,61 @@ func (fs *FS) readPiece(srv *server, st *fileState, p subOp, done func(error)) {
 		}
 		fs.faults.DegradedReads++
 		fs.cDegraded.Inc()
-		fs.readDegraded(alt, srv, st, p, done)
+		fs.readDegraded(alt, srv, st, p, ot, done)
 		return
 	}
 	if srv.rebuildUntil > fs.eng.Now() {
 		fs.faults.DegradedReads++
 		fs.cDegraded.Inc()
-		srv.read(fs, st, p, fs.degradedPenalty(), done)
+		srv.read(fs, st, p, fs.degradedPenalty(), ot, done)
 		return
 	}
-	srv.read(fs, st, p, 1, done)
+	srv.read(fs, st, p, 1, ot, done)
 }
 
 // read serves one piece from the server's own disk; penalty > 1 models
 // parity reconstruction during the post-recovery rebuild window. done
 // receives a non-nil error when the server crashes mid-operation.
-func (s *server) read(fs *FS, st *fileState, p subOp, penalty float64, done func(error)) {
+func (s *server) read(fs *FS, st *fileState, p subOp, penalty float64, ot *obs.OpTimer, done func(error)) {
 	key := stripeKey{file: st.id, unit: p.unit}
 	diskOff, ok := s.extent[key]
 	if !ok {
 		// Reading a hole: no disk work.
-		s.dq.Submit(0, func(sim.Time) { done(nil) })
+		enq := fs.eng.Now()
+		s.dq.Submit(0, func(at sim.Time) {
+			ot.Add(obs.StageQueue, float64(at-enq))
+			done(nil)
+		})
 		return
 	}
-	svc := s.dsk.Access(diskOff+p.offIn, p.size)
+	svc, det := s.dsk.AccessTimed(diskOff+p.offIn, p.size)
+	ot.Add(obs.StageDiskSeek, det.SeekSec)
+	ot.Add(obs.StageDiskRotation, det.RotationSec)
+	ot.Add(obs.StageDiskTransfer, det.TransferSec)
 	if penalty > 1 {
+		base := svc
 		svc = sim.Time(float64(svc) * penalty)
+		// The extra reconstruction reads beyond the nominal service time
+		// are the degraded-mode cost.
+		ot.Add(obs.StageDegraded, float64(svc-base))
 	}
 	s.bytesRead += p.size
 	s.cOps.Inc()
 	s.cBytesR.Add(p.size)
 	epoch := s.epoch
-	s.dq.Submit(svc, func(sim.Time) {
+	enq := fs.eng.Now()
+	s.dq.Submit(svc, func(at sim.Time) {
+		ot.Add(obs.StageQueue, float64(at-enq-svc))
 		if s.epoch != epoch {
 			fs.failOp(done)
 			return
 		}
 		deliver := func() {
-			s.nic.Submit(sim.Time(float64(p.size)/fs.Cfg.ServerNetBW), func(sim.Time) {
+			xfer := sim.Time(float64(p.size) / fs.Cfg.ServerNetBW)
+			enq2 := fs.eng.Now()
+			s.nic.Submit(xfer, func(at sim.Time) {
+				ot.Add(obs.StageNet, float64(xfer))
+				ot.Add(obs.StageQueue, float64(at-enq2-xfer))
 				if s.epoch != epoch {
 					fs.failOp(done)
 					return

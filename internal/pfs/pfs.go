@@ -286,6 +286,14 @@ type FS struct {
 	cIntUnrecov  *obs.Counter
 	cIntSilent   *obs.Counter
 	cIntScrubbed *obs.Counter
+
+	// Latency-analytics handles (see analytics.go). Nil unless the
+	// registry opted in via EnableOpTimers/EnableTimeSeries, so default
+	// runs and snapshots are untouched.
+	otWrite  *obs.OpTimerSet
+	otRead   *obs.OpTimerSet
+	tsOn     bool
+	inflight int64
 }
 
 // stripeLock is a FIFO mutex with an ownership-transfer penalty.
@@ -371,6 +379,11 @@ func (fs *FS) instrument() {
 			}
 			return float64(st.Positioned) / float64(st.Accesses)
 		})
+	}
+	fs.otWrite = reg.OpTimerSet("pfs.write")
+	fs.otRead = reg.OpTimerSet("pfs.read")
+	if w := reg.SeriesWindow(); w > 0 {
+		fs.armSeries(reg, w)
 	}
 }
 

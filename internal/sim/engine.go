@@ -95,6 +95,13 @@ type Engine struct {
 	cDispatched *obs.Counter
 	cScheduled  *obs.Counter
 	cCancelled  *obs.Counter
+
+	// Periodic sampling state (see sampler.go). Armed only when a
+	// series-enabled registry is attached, so default runs schedule no
+	// extra events.
+	sampleFns   []func(now Time)
+	sampleEvery Time
+	samplerOn   bool
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -112,6 +119,10 @@ func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	reg.GaugeFunc("sim.queue_depth_max", func() float64 { return float64(e.depth) })
 	reg.GaugeFunc("sim.pending", func() float64 { return float64(e.live) })
 	reg.GaugeFunc("sim.now_s", func() float64 { return float64(e.now) })
+	if w := reg.SeriesWindow(); w > 0 {
+		ts := reg.TimeSeries("sim.events.pending")
+		e.Sample(Time(w), func(now Time) { ts.Observe(float64(now), float64(e.live)) })
+	}
 }
 
 // Metrics returns the attached registry (nil when uninstrumented). A nil

@@ -154,9 +154,25 @@ func RunFaults(cfg pfs.Config, fspec FaultSpec, reg *obs.Registry, tr *obs.Trace
 				perform := func(h *pfs.File) {
 					attempt := 0
 					backoff := fspec.RetryBackoff
+					// One stage timer spans the whole logical op — every
+					// attempt's stages plus the backoff between them — and is
+					// observed once, on final success. Dropped ops never fold
+					// in, so the quantiles describe completed operations. Nil
+					// (one branch per probe) unless op timers are enabled.
+					var ot *obs.OpTimer
+					if o.Read {
+						ot = fs.StartReadOp()
+					} else {
+						ot = fs.StartWriteOp()
+					}
 					var try func()
 					complete := func(err error) {
 						if err == nil {
+							if o.Read {
+								fs.FinishReadOp(ot)
+							} else {
+								fs.FinishWriteOp(ot)
+							}
 							issue(i + 1)
 							return
 						}
@@ -168,6 +184,7 @@ func RunFaults(cfg pfs.Config, fspec FaultSpec, reg *obs.Registry, tr *obs.Trace
 							if backoff *= 2; backoff > maxBackoff {
 								backoff = maxBackoff
 							}
+							ot.Add(obs.StageBackoff, float64(d))
 							eng.Schedule(d, try)
 							return
 						}
@@ -179,9 +196,9 @@ func RunFaults(cfg pfs.Config, fspec FaultSpec, reg *obs.Registry, tr *obs.Trace
 					}
 					try = func() {
 						if o.Read {
-							clients[r].ReadErr(h, o.Off, o.Size, complete)
+							clients[r].ReadOp(h, o.Off, o.Size, ot, complete)
 						} else {
-							clients[r].WriteErr(h, o.Off, o.Size, complete)
+							clients[r].WriteOp(h, o.Off, o.Size, ot, complete)
 						}
 					}
 					try()
