@@ -27,3 +27,4 @@ lint:
 bench-smoke:
 	$(GO) test -run=NONE -bench=GlobalIndex -benchtime=1x ./internal/core/...
 	$(GO) test -run=NONE -bench='Quantile|OpTimer' -benchtime=1x ./internal/obs/...
+	$(GO) test -run=NONE -bench='EngineSchedule|EngineCancelHeavy' -benchtime=1x ./internal/sim/...

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/archive"
@@ -76,13 +78,14 @@ var experiments = map[string]func(){
 	"index":     figIndex,
 	"faults":    figFaults,
 	"integrity": figIntegrity,
+	"scale":     figScale,
 }
 
 var order = []string{
 	"2", "3", "4", "5", "7", "8", "9", "10", "11", "12", "13", "14",
 	"tape", "place", "diag", "search", "restart", "power", "security",
 	"prefetch", "trace", "pnfs", "fsva", "posix", "disc", "index",
-	"faults", "integrity",
+	"faults", "integrity", "scale",
 }
 
 // probeReg and probeTr are the process-wide observability probe, non-nil
@@ -94,6 +97,20 @@ var (
 	probeTr  *obs.Tracer
 )
 
+// probeShards > 0 runs the simulation-backed fault/integrity
+// experiments on a sim.Cluster of that many shards; outputs are
+// byte-identical to the single-engine path for any value (the CI
+// shard-determinism smoke diffs them).
+var probeShards int
+
+// Scale-experiment knobs (the 'scale' experiment only).
+var (
+	scalePods   int
+	scaleRanks  int
+	scaleOSS    int
+	scaleRounds int
+)
+
 func main() {
 	figs := flag.String("fig", "all", "comma-separated experiment ids, or 'all'")
 	metrics := flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
@@ -101,6 +118,11 @@ func main() {
 	report := flag.String("report", "", "write a latency/SLO dashboard (exact quantiles, stage attribution, bottlenecks) to this file, or '-' for stdout; enables per-op stage timers")
 	timeseries := flag.String("timeseries", "", "write sim-time series as CSV to this file; enables windowed sampling")
 	tsWindow := flag.Float64("ts-window", 0.1, "sim-time series window in seconds (with -timeseries)")
+	flag.IntVar(&probeShards, "shards", 0, "run simulation-backed experiments on a sharded cluster (0 = single engine); outputs are byte-identical for any value")
+	flag.IntVar(&scalePods, "scale-pods", 8, "scale experiment: number of file-system pods")
+	flag.IntVar(&scaleRanks, "scale-ranks", 32, "scale experiment: checkpointing ranks per pod")
+	flag.IntVar(&scaleOSS, "scale-oss", 4, "scale experiment: object storage servers per pod")
+	flag.IntVar(&scaleRounds, "scale-rounds", 2, "scale experiment: globally barriered checkpoint rounds")
 	flag.Parse()
 	var run []string
 	if *figs == "all" {
@@ -674,7 +696,7 @@ func figFaults() {
 	spec := workload.Spec{Ranks: 8, BytesPerRank: 2 << 20, RecordSize: 1 << 18, Pattern: workload.NN}
 
 	// The healthy capture time is the Daly model's delta.
-	clean := workload.RunFaults(cfg, workload.FaultSpec{Spec: spec, Checkpoints: 1}, probeReg, probeTr)
+	clean := workload.RunFaults(cfg, workload.FaultSpec{Spec: spec, Checkpoints: 1, Shards: probeShards}, probeReg, probeTr)
 	delta := float64(clean.Elapsed)
 
 	const (
@@ -713,6 +735,7 @@ func figFaults() {
 			MaxRetries:   6,
 			RetryBackoff: sim.Time(5e-3),
 			MaxBackoff:   sim.Time(0.1),
+			Shards:       probeShards,
 		}, probeReg, probeTr)
 		slowdown := float64(res.Elapsed) / (delta * rounds)
 		fmt.Printf("%10.2f %15.3f %10.3f %14.2fx %10d %10d %10d\n",
@@ -756,7 +779,7 @@ func figIntegrity() {
 				TornFraction:  0.2,
 				Horizon:       float64(expose),
 			}, seed)
-			ispec := workload.IntegritySpec{Spec: spec, Events: events, Expose: expose, ScrubInterval: scrub}
+			ispec := workload.IntegritySpec{Spec: spec, Events: events, Expose: expose, ScrubInterval: scrub, Shards: probeShards}
 			cfgOff := base
 			cfgOff.Checksums = false
 			off := workload.RunIntegrity(cfgOff, ispec, probeReg, probeTr)
@@ -785,6 +808,64 @@ func figIntegrity() {
 	fmt.Println("shape check: silent corruption tracks the analytic exposure window —")
 	fmt.Println("shrinking ~linearly with scrub cadence — and drops to exactly zero the")
 	fmt.Println("moment read-path checksums are on (every mismatch repaired from parity)")
+}
+
+// figScale: the sharded-engine scale experiment — many file-system pods
+// checkpointing in globally barriered rounds, swept over shard counts.
+// Every sweep point must produce a byte-identical metrics snapshot (the
+// determinism contract of the conservative-lookahead cluster); wall
+// clock is the only thing allowed to change, and the table reports the
+// measured speedup over the single-shard run. On a single-core host the
+// sweep is flat (the shards serialize); the architecture-level win is
+// reported by the engine microbenchmarks in internal/sim.
+func figScale() {
+	header("Scale — sharded engine, pods x ranks under conservative lookahead")
+	spec := workload.ScaleSpec{
+		Pods:            scalePods,
+		RanksPerPod:     scaleRanks,
+		ServersPerPod:   scaleOSS,
+		Rounds:          scaleRounds,
+		BytesPerRank:    64 << 10,
+		ComputeTime:     0.25,
+		InterPodLatency: 5e-6,
+	}
+	fmt.Printf("%d pods x %d ranks/pod = %d ranks, %d OSSes, %d rounds, %d KiB/rank/round\n",
+		spec.Pods, spec.RanksPerPod, spec.Pods*spec.RanksPerPod,
+		spec.Pods*spec.ServersPerPod, spec.Rounds, spec.BytesPerRank>>10)
+	fmt.Printf("lookahead (inter-pod NIC latency): %.0f us; GOMAXPROCS %d\n\n",
+		float64(spec.InterPodLatency)*1e6, runtime.GOMAXPROCS(0))
+	fmt.Printf("%8s %12s %12s %11s %9s %10s\n",
+		"shards", "events", "sim (s)", "wall (s)", "speedup", "snapshot")
+	var refSnap []byte
+	var refWall float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		s := spec
+		s.Shards = shards
+		reg := obs.NewRegistry()
+		sw := obs.StartStopwatch()
+		res := workload.RunScale(s, reg)
+		wall := sw.Elapsed().Seconds()
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			panic(err)
+		}
+		status := "reference"
+		if refSnap == nil {
+			refSnap, refWall = buf.Bytes(), wall
+		} else if bytes.Equal(buf.Bytes(), refSnap) {
+			status = "identical"
+		} else {
+			status = "DIVERGED"
+		}
+		fmt.Printf("%8d %12d %12.3f %11.3f %8.2fx %10s\n",
+			shards, res.Events, float64(res.WallClock), wall, refWall/wall, status)
+		if status == "DIVERGED" {
+			panic("scale: snapshot diverged across shard counts")
+		}
+	}
+	fmt.Println("\nshape check: every sweep point serializes the same snapshot byte for")
+	fmt.Println("byte; speedup tracks available cores (flat when GOMAXPROCS/cores pin")
+	fmt.Println("the shards to one thread)")
 }
 
 // figDiag: peer-comparison diagnosis.

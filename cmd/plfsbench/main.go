@@ -214,7 +214,7 @@ func runIndexBench(entries, writers, ingestWorkers int, reg *obs.Registry) index
 // rate over a one-hour dwell between write and read-back, optionally
 // swept by periodic scrubs, with read-path checksums toggled by -verify.
 func runCorrupt(cfg pfs.Config, p workload.Pattern, ranks int, mbEach, record int64,
-	ratePerHour, scrubSec float64, verify bool, seed int64, reg *obs.Registry, tr *obs.Tracer) {
+	ratePerHour, scrubSec float64, verify bool, seed int64, shards int, reg *obs.Registry, tr *obs.Tracer) {
 	const dwell = 3600.0 // seconds of exposure between checkpoint and read-back
 	cfg.Checksums = verify
 	perServer := int64(ranks) * (mbEach << 20) / int64(cfg.NumServers)
@@ -234,6 +234,7 @@ func runCorrupt(cfg pfs.Config, p workload.Pattern, ranks int, mbEach, record in
 		Events:        events,
 		Expose:        sim.Time(dwell),
 		ScrubInterval: sim.Time(scrubSec),
+		Shards:        shards,
 	}, reg, tr)
 	st := res.Stats
 	fmt.Printf("file system:   %s (%d servers), %.2f corruptions/drive-hour, checksums %v\n",
@@ -252,14 +253,14 @@ func runCorrupt(cfg pfs.Config, p workload.Pattern, ranks int, mbEach, record in
 // MTBF while the application alternates compute and checkpoint rounds,
 // retrying failed ops with capped backoff.
 func runFaulty(cfg pfs.Config, p workload.Pattern, ranks int, mbEach, record int64,
-	mtbf, downtime, computeSec float64, ckpts int, seed int64, reg *obs.Registry, tr *obs.Tracer) {
+	mtbf, downtime, computeSec float64, ckpts int, seed int64, shards int, reg *obs.Registry, tr *obs.Tracer) {
 	spec := workload.Spec{
 		Ranks: ranks, BytesPerRank: mbEach << 20, RecordSize: record,
 		Pattern: p, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
 	}
 	// A clean run sizes the fault horizon: compute plus a generous
 	// multiple of the healthy capture time per round.
-	clean := workload.RunFaults(cfg, workload.FaultSpec{Spec: spec, Checkpoints: 1}, nil, nil)
+	clean := workload.RunFaults(cfg, workload.FaultSpec{Spec: spec, Checkpoints: 1, Shards: shards}, nil, nil)
 	horizon := float64(ckpts) * (computeSec + 8*float64(clean.Elapsed) + downtime)
 	plan := failure.DrawOSSFaults(failure.OSSFaultSpec{
 		Servers:  cfg.NumServers,
@@ -276,6 +277,7 @@ func runFaulty(cfg pfs.Config, p workload.Pattern, ranks int, mbEach, record int
 		MaxRetries:   6,
 		RetryBackoff: sim.Time(5e-3),
 		MaxBackoff:   sim.Time(0.1),
+		Shards:       shards,
 	}, reg, tr)
 	fmt.Printf("file system:   %s (%d servers), per-server MTBF %.1f s, downtime %.1f s\n",
 		cfg.Name, cfg.NumServers, mtbf, downtime)
@@ -323,6 +325,7 @@ func main() {
 		downtime   = flag.Float64("downtime", 0.5, "crash downtime in seconds (0 = permanent failure)")
 		faultSeed  = flag.Int64("fault-seed", 42, "seed for the deterministic fault draw")
 		ckpts      = flag.Int("checkpoints", 4, "compute+checkpoint rounds under -mtbf")
+		shards     = flag.Int("shards", 0, "run the simulation on a sharded cluster of this many event queues (0 = single engine); outputs are byte-identical for any value")
 		computeSec = flag.Float64("compute", 0.5, "simulated compute seconds between checkpoints under -mtbf")
 		jsonPath   = flag.String("json", "", "write machine-readable results (JSON) to this file")
 		metrics    = flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
@@ -410,11 +413,11 @@ func main() {
 		os.Exit(2)
 	}
 	if *corrupt > 0 {
-		runCorrupt(cfg, p, *ranks, *mbEach, *record, *corrupt, *scrubSec, *verify, *faultSeed, reg, tr)
+		runCorrupt(cfg, p, *ranks, *mbEach, *record, *corrupt, *scrubSec, *verify, *faultSeed, *shards, reg, tr)
 		return
 	}
 	if *mtbf > 0 {
-		runFaulty(cfg, p, *ranks, *mbEach, *record, *mtbf, *downtime, *computeSec, *ckpts, *faultSeed, reg, tr)
+		runFaulty(cfg, p, *ranks, *mbEach, *record, *mtbf, *downtime, *computeSec, *ckpts, *faultSeed, *shards, reg, tr)
 		return
 	}
 	res := workload.RunProbed(cfg, workload.Spec{

@@ -17,7 +17,12 @@ import (
 //   - emitting as it goes: fmt printing, io.Writer writes, trace events
 //     (obs.Tracer), last-value-wins gauges (obs.Gauge.Set), or
 //     obs.Registry.GaugeFunc registration (later registrations replace
-//     earlier ones, so registration order is observable).
+//     earlier ones, so registration order is observable);
+//   - handing work off as it goes: a channel send delivers values to the
+//     consumer in map-iteration order, and a `go` statement spawns
+//     workers in map-iteration order — both surfaced by the sharded
+//     engine's merge paths, where every cross-shard handoff must be
+//     keyed and sorted instead.
 //
 // Commutative updates (counter adds, histogram observes, sums,
 // map-to-map copies) are order-independent and deliberately not
@@ -58,6 +63,16 @@ type appendTarget struct {
 func checkMapRange(pass *engine.Pass, rng *ast.RangeStmt, stack []ast.Node) {
 	var appends []appendTarget
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(),
+				"channel send inside a map range delivers values in map-iteration order; iterate sorted keys instead")
+			return true
+		case *ast.GoStmt:
+			pass.Reportf(s.Pos(),
+				"go statement inside a map range spawns goroutines in map-iteration order; iterate sorted keys instead")
+			return true
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

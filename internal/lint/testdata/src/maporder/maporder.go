@@ -119,3 +119,29 @@ func allowed(m map[string]int) []string {
 	}
 	return keys
 }
+
+func badChannelSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range delivers values in map-iteration order`
+	}
+}
+
+func badGoSpawn(m map[string]int, sink *int) {
+	for k := range m {
+		k := k
+		go func() { // want `go statement inside a map range spawns goroutines in map-iteration order`
+			*sink = len(k)
+		}()
+	}
+}
+
+func goodSortedHandoff(m map[string]int, ch chan string) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ch <- k
+	}
+}

@@ -21,9 +21,9 @@ import (
 // registry has EnableTimeSeries armed.
 func (fs *FS) armSeries(reg *obs.Registry, window float64) {
 	fs.tsOn = true
-	tsInflight := reg.TimeSeries("pfs.ops.inflight")
-	tsMDS := reg.TimeSeries("pfs.mds.qdepth")
-	tsRebuild := reg.TimeSeries("pfs.rebuild.active")
+	tsInflight := reg.TimeSeries(fs.metric("pfs.ops.inflight"))
+	tsMDS := reg.TimeSeries(fs.metric("pfs.mds.qdepth"))
+	tsRebuild := reg.TimeSeries(fs.metric("pfs.rebuild.active"))
 	type srvSeries struct {
 		s    *server
 		util *obs.TimeSeries
@@ -31,7 +31,7 @@ func (fs *FS) armSeries(reg *obs.Registry, window float64) {
 	}
 	series := make([]srvSeries, len(fs.servers))
 	for i, s := range fs.servers {
-		name := fmt.Sprintf("pfs.oss%02d", i)
+		name := fs.metric(fmt.Sprintf("pfs.oss%02d", i))
 		series[i] = srvSeries{
 			s:    s,
 			util: reg.TimeSeries(name + ".disk.util"),

@@ -94,12 +94,12 @@ func (fs *FS) armIntegrity() {
 	if reg == nil || fs.cIntDetected != nil {
 		return
 	}
-	fs.cIntInjected = reg.Counter("pfs.integrity.injected")
-	fs.cIntDetected = reg.Counter("pfs.integrity.detected")
-	fs.cIntRepaired = reg.Counter("pfs.integrity.repaired")
-	fs.cIntUnrecov = reg.Counter("pfs.integrity.unrecoverable")
-	fs.cIntSilent = reg.Counter("pfs.integrity.silent_reads")
-	fs.cIntScrubbed = reg.Counter("pfs.integrity.scrubbed_units")
+	fs.cIntInjected = reg.Counter(fs.metric("pfs.integrity.injected"))
+	fs.cIntDetected = reg.Counter(fs.metric("pfs.integrity.detected"))
+	fs.cIntRepaired = reg.Counter(fs.metric("pfs.integrity.repaired"))
+	fs.cIntUnrecov = reg.Counter(fs.metric("pfs.integrity.unrecoverable"))
+	fs.cIntSilent = reg.Counter(fs.metric("pfs.integrity.silent_reads"))
+	fs.cIntScrubbed = reg.Counter(fs.metric("pfs.integrity.scrubbed_units"))
 }
 
 // readCorrupted handles a read whose extent overlaps live corruption.

@@ -34,6 +34,16 @@ import (
 type Config struct {
 	Name string
 
+	// MetricPrefix is prepended to every instrument name the file
+	// system registers ("pfs.mds", "pfs.oss00.*", ...). Empty for a
+	// standalone file system. A sim.Cluster running several file-system
+	// pods gives each pod a unique prefix ("pod03.") so that every
+	// order-sensitive instrument — histograms, quantiles, op-timer
+	// stage sets, time series — has a single writer shard, which is
+	// what keeps snapshots byte-identical across shard counts. The
+	// prefix changes instrument names only, never model behavior.
+	MetricPrefix string
+
 	// NumServers is the number of object storage servers.
 	NumServers int
 
@@ -342,26 +352,29 @@ func New(eng *sim.Engine, cfg Config) *FS {
 // instrument registers the file system's probes in the engine's metrics
 // registry. A no-op (leaving all handles nil) when the engine is
 // uninstrumented.
+// metric prepends the configured pod prefix to an instrument name.
+func (fs *FS) metric(name string) string { return fs.Cfg.MetricPrefix + name }
+
 func (fs *FS) instrument() {
 	reg := fs.eng.Metrics()
 	if reg == nil {
 		return
 	}
-	fs.mds.Instrument("pfs.mds")
-	fs.cMeta = reg.Counter("pfs.metadata_ops")
-	fs.cRevokes = reg.Counter("pfs.lock.revokes")
-	fs.cLockWaits = reg.Counter("pfs.lock.waits")
-	fs.cRMW = reg.Counter("pfs.rmw_ops")
-	fs.hLockWait = reg.Histogram("pfs.lock.wait_s", obs.TimeBuckets())
-	fs.cCrashes = reg.Counter("pfs.faults.crashes")
-	fs.cRecoveries = reg.Counter("pfs.faults.recoveries")
-	fs.cRebuilds = reg.Counter("pfs.faults.rebuilds")
-	fs.cFailedOps = reg.Counter("pfs.faults.failed_ops")
-	fs.cDegraded = reg.Counter("pfs.faults.degraded_reads")
-	fs.cLeaseExp = reg.Counter("pfs.faults.lease_expiries")
-	reg.GaugeFunc("pfs.faults.rebuild_busy_s", func() float64 { return float64(fs.faults.RebuildBusy) })
+	fs.mds.Instrument(fs.metric("pfs.mds"))
+	fs.cMeta = reg.Counter(fs.metric("pfs.metadata_ops"))
+	fs.cRevokes = reg.Counter(fs.metric("pfs.lock.revokes"))
+	fs.cLockWaits = reg.Counter(fs.metric("pfs.lock.waits"))
+	fs.cRMW = reg.Counter(fs.metric("pfs.rmw_ops"))
+	fs.hLockWait = reg.Histogram(fs.metric("pfs.lock.wait_s"), obs.TimeBuckets())
+	fs.cCrashes = reg.Counter(fs.metric("pfs.faults.crashes"))
+	fs.cRecoveries = reg.Counter(fs.metric("pfs.faults.recoveries"))
+	fs.cRebuilds = reg.Counter(fs.metric("pfs.faults.rebuilds"))
+	fs.cFailedOps = reg.Counter(fs.metric("pfs.faults.failed_ops"))
+	fs.cDegraded = reg.Counter(fs.metric("pfs.faults.degraded_reads"))
+	fs.cLeaseExp = reg.Counter(fs.metric("pfs.faults.lease_expiries"))
+	reg.GaugeFunc(fs.metric("pfs.faults.rebuild_busy_s"), func() float64 { return float64(fs.faults.RebuildBusy) })
 	for i, s := range fs.servers {
-		name := fmt.Sprintf("pfs.oss%02d", i)
+		name := fs.metric(fmt.Sprintf("pfs.oss%02d", i))
 		s.nic.Instrument(name + ".nic")
 		s.dq.Instrument(name + ".disk")
 		s.cOps = reg.Counter(name + ".ops")
@@ -380,8 +393,8 @@ func (fs *FS) instrument() {
 			return float64(st.Positioned) / float64(st.Accesses)
 		})
 	}
-	fs.otWrite = reg.OpTimerSet("pfs.write")
-	fs.otRead = reg.OpTimerSet("pfs.read")
+	fs.otWrite = reg.OpTimerSet(fs.metric("pfs.write"))
+	fs.otRead = reg.OpTimerSet(fs.metric("pfs.read"))
 	if w := reg.SeriesWindow(); w > 0 {
 		fs.armSeries(reg, w)
 	}

@@ -6,15 +6,16 @@
 // The kernel is a classic event-list engine: a virtual clock, a priority
 // queue of timestamped callbacks, and a handful of composable pieces
 // layered on top — FIFO servers with bounded concurrency (Server),
-// completion barriers (Barrier), and a seedable crash/recovery schedule
-// (FaultPlan) that subsystems consume through the FaultSink interface.
-// Determinism is guaranteed by (a) a stable tie-break on event insertion
-// order and (b) explicit seeding of every random source, so a simulation
-// re-run with the same seed reproduces the same trajectory bit for bit.
+// completion barriers (Barrier), a seedable crash/recovery schedule
+// (FaultPlan) that subsystems consume through the FaultSink interface,
+// and a conservative-lookahead shard coordinator (Cluster) that runs
+// several engines as one simulation. Determinism is guaranteed by (a) a
+// stable tie-break on event insertion order and (b) explicit seeding of
+// every random source, so a simulation re-run with the same seed
+// reproduces the same trajectory bit for bit.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -44,45 +45,50 @@ func (t Time) String() string {
 }
 
 // An event is a callback scheduled at a virtual timestamp. seq breaks ties
-// so that events scheduled earlier at the same timestamp run first.
+// so that events scheduled earlier at the same timestamp run first. gen
+// distinguishes incarnations of a recycled event struct: the engine keeps
+// dispatched and cancelled events on a free list, and gen is bumped on
+// every recycle so a stale EventID held by the model can never cancel the
+// slot's next occupant.
 type event struct {
 	at   Time
 	seq  uint64
 	fn   func()
 	dead bool
+	gen  uint32
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// lessThan is the engine's dispatch order: time, then insertion order.
+func (a *event) lessThan(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // EventID identifies a scheduled event so it can be cancelled (e.g. a TCP
-// retransmission timer that is disarmed when the ACK arrives).
-type EventID struct{ e *event }
+// retransmission timer that is disarmed when the ACK arrives). The zero
+// EventID is valid and cancels nothing.
+type EventID struct {
+	e   *event
+	gen uint32
+}
+
+// compactMinDead is the floor below which cancelled events are left in
+// the heap: tiny queues are cheaper to pop through than to rebuild.
+const compactMinDead = 32
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; model concurrency is expressed as interleaved events, not
-// goroutines, which is what makes runs reproducible.
+// goroutines, which is what makes runs reproducible. (A Cluster runs
+// several engines on a worker pool, but each engine is still only ever
+// touched by one goroutine at a time.)
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  eventQueue
+	queue  minHeap[*event]
+	free   []*event // recycled event structs, reused by At
+	dead   int      // cancelled events still occupying heap slots
 	nsteps uint64
 	live   int // scheduled, not yet dispatched or cancelled
 	depth  int // high-water mark of queue length
@@ -111,11 +117,7 @@ func NewEngine() *Engine { return &Engine{} }
 // nil). Resources created afterwards (Servers, file systems) pick the
 // probe up from the engine, so call this before building the model.
 func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
-	e.metrics = reg
-	e.tracer = tr
-	e.cDispatched = reg.Counter("sim.events_dispatched")
-	e.cScheduled = reg.Counter("sim.events_scheduled")
-	e.cCancelled = reg.Counter("sim.events_cancelled")
+	e.instrument(reg, tr)
 	reg.GaugeFunc("sim.queue_depth_max", func() float64 { return float64(e.depth) })
 	reg.GaugeFunc("sim.pending", func() float64 { return float64(e.live) })
 	reg.GaugeFunc("sim.now_s", func() float64 { return float64(e.now) })
@@ -123,6 +125,20 @@ func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 		ts := reg.TimeSeries("sim.events.pending")
 		e.Sample(Time(w), func(now Time) { ts.Observe(float64(now), float64(e.live)) })
 	}
+}
+
+// instrument attaches the registry, tracer, and shared event counters
+// but not the whole-simulation gauges or the pending-events series. It
+// is the member-engine half of Instrument: a Cluster instruments each
+// shard this way and registers cluster-wide aggregates itself, so a
+// snapshot carries one "sim.pending" gauge regardless of shard count and
+// the counters (atomic, commutative) accumulate across shards.
+func (e *Engine) instrument(reg *obs.Registry, tr *obs.Tracer) {
+	e.metrics = reg
+	e.tracer = tr
+	e.cDispatched = reg.Counter("sim.events_dispatched")
+	e.cScheduled = reg.Counter("sim.events_scheduled")
+	e.cCancelled = reg.Counter("sim.events_cancelled")
 }
 
 // Metrics returns the attached registry (nil when uninstrumented). A nil
@@ -152,25 +168,72 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.dead = t, e.seq, fn, false
+	} else {
+		ev = &event{at: t, seq: e.seq, fn: fn}
+	}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	e.live++
-	if len(e.queue) > e.depth {
-		e.depth = len(e.queue)
+	if e.queue.len() > e.depth {
+		e.depth = e.queue.len()
 	}
 	e.cScheduled.Inc()
-	return EventID{ev}
+	return EventID{e: ev, gen: ev.gen}
+}
+
+// recycle returns a dispatched or cancelled event struct to the free
+// list. The generation bump invalidates every EventID pointing at it,
+// and dropping fn releases the callback's captures immediately.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Cancel disarms a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (e *Engine) Cancel(id EventID) {
-	if id.e != nil && !id.e.dead {
-		id.e.dead = true
-		e.live--
-		e.cCancelled.Inc()
+	ev := id.e
+	if ev == nil || ev.dead || ev.gen != id.gen {
+		return
 	}
+	ev.dead = true
+	e.dead++
+	e.live--
+	e.cCancelled.Inc()
+	// Lazy deletion leaves the corpse in the heap until it reaches the
+	// top. Cancel-heavy models (incast retransmission timers, lease
+	// guards) can cancel far faster than the clock drains corpses, so
+	// once the majority of the heap is dead we compact: filter the slice
+	// in place and re-heapify. The (at, seq) order is untouched, so
+	// dispatch order — and therefore the trajectory — is identical.
+	if e.dead > compactMinDead && e.dead*2 > e.queue.len() {
+		e.compact()
+	}
+}
+
+func (e *Engine) compact() {
+	s := e.queue.s
+	kept := s[:0]
+	for _, ev := range s {
+		if ev.dead {
+			e.recycle(ev)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(s); i++ {
+		s[i] = nil
+	}
+	e.queue.s = kept
+	e.queue.reinit()
+	e.dead = 0
 }
 
 // Run dispatches events until the queue is empty and returns the final
@@ -181,26 +244,21 @@ func (e *Engine) Run() Time { return e.RunUntil(Infinity) }
 // at the timestamp of the last dispatched event (or at deadline if that is
 // earlier than the next pending event and deadline is finite).
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.queue) > 0 {
-		next := e.queue[0]
+	for e.queue.len() > 0 {
+		next := e.queue.peek()
 		if next.at > deadline {
 			if deadline < Infinity {
 				e.now = deadline
 			}
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		e.queue.pop()
 		if next.dead {
+			e.dead--
+			e.recycle(next)
 			continue
 		}
-		// Marking the event dead here makes a late Cancel of a fired event
-		// a no-op and keeps the live count exact.
-		next.dead = true
-		e.live--
-		e.now = next.at
-		e.nsteps++
-		e.cDispatched.Inc()
-		next.fn()
+		e.dispatch(next)
 	}
 	if deadline < Infinity && deadline > e.now {
 		e.now = deadline
@@ -208,7 +266,63 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
+// runBefore dispatches events with timestamps strictly before w and
+// leaves the clock at the last dispatched event. It is the shard half of
+// a Cluster window: exclusive of w, so events at the window bound run in
+// the next window, after cross-shard arrivals (which are always >= w)
+// have been merged in.
+func (e *Engine) runBefore(w Time) {
+	for e.queue.len() > 0 {
+		next := e.queue.peek()
+		if next.at >= w {
+			return
+		}
+		e.queue.pop()
+		if next.dead {
+			e.dead--
+			e.recycle(next)
+			continue
+		}
+		e.dispatch(next)
+	}
+}
+
+func (e *Engine) dispatch(ev *event) {
+	// Marking the event dead makes a late Cancel of a fired event a
+	// no-op and keeps the live count exact; recycling before the call
+	// lets fn's own scheduling reuse the struct (the generation bump
+	// keeps the old EventID inert).
+	ev.dead = true
+	e.live--
+	e.now = ev.at
+	e.nsteps++
+	e.cDispatched.Inc()
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
+}
+
+// nextAt returns the timestamp of the earliest live event, sweeping any
+// dead corpses off the top of the heap on the way.
+func (e *Engine) nextAt() (Time, bool) {
+	for e.queue.len() > 0 {
+		next := e.queue.peek()
+		if !next.dead {
+			return next.at, true
+		}
+		e.queue.pop()
+		e.dead--
+		e.recycle(next)
+	}
+	return 0, false
+}
+
 // Pending reports the number of live events still queued. It is O(1):
 // the engine maintains a live-event count decremented on cancel and
 // dispatch instead of scanning the heap.
 func (e *Engine) Pending() int { return e.live }
+
+// QueueLen reports occupied heap slots, live or dead. It exceeds
+// Pending() by exactly the cancelled events not yet compacted or popped,
+// which is what the compaction regression test pins down.
+func (e *Engine) QueueLen() int { return e.queue.len() }

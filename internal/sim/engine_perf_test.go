@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestCancelCompactionBoundsQueue is the regression test for the lazy-
+// deletion leak: cancel-heavy workloads (incast retransmission timers)
+// used to leave every corpse in the heap until the clock reached it, so
+// the queue grew without bound. With compaction the heap never holds
+// more than about twice the live events (plus the small compaction
+// floor).
+func TestCancelCompactionBoundsQueue(t *testing.T) {
+	e := NewEngine()
+	const n = 20000
+	ids := make([]EventID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, e.Schedule(Time(1+i%97), func() {}))
+	}
+	// Cancel all but every 200th event.
+	live := 0
+	for i, id := range ids {
+		if i%200 == 0 {
+			live++
+			continue
+		}
+		e.Cancel(id)
+	}
+	if got := e.Pending(); got != live {
+		t.Fatalf("Pending() = %d, want %d", got, live)
+	}
+	if max := 2*live + compactMinDead + 1; e.QueueLen() > max {
+		t.Fatalf("QueueLen() = %d after mass cancel, want <= %d (leak regression)", e.QueueLen(), max)
+	}
+	// Compaction must not reorder the survivors.
+	var order []Time
+	e2 := NewEngine()
+	survivors := 0
+	for i := 0; i < 2000; i++ {
+		at := Time(1 + (i*37)%4999)
+		id := e2.At(at, func() { order = append(order, at) })
+		if i%40 != 0 {
+			e2.Cancel(id)
+		} else {
+			survivors++
+		}
+	}
+	e2.Run()
+	if len(order) != survivors {
+		t.Fatalf("dispatched %d survivors, want %d", len(order), survivors)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("out-of-order dispatch after compaction at %d: %v then %v", i, order[i-1], order[i])
+		}
+	}
+}
+
+// TestCancelAfterRecycleIsInert: an EventID whose event struct has been
+// recycled into a new scheduling must not cancel the new occupant (the
+// free-list ABA hazard the generation counter exists for).
+func TestCancelAfterRecycleIsInert(t *testing.T) {
+	e := NewEngine()
+	id := e.Schedule(1, func() {})
+	e.Run() // dispatches and recycles the struct
+	fired := false
+	e.Schedule(1, func() { fired = true }) // reuses the freed struct
+	e.Cancel(id)                           // stale ID, must be a no-op
+	e.Run()
+	if !fired {
+		t.Fatal("stale EventID cancelled a recycled event")
+	}
+}
+
+// TestEngineScheduleSteadyStateAllocs pins the free-list contract: once
+// warm, scheduling and dispatching allocates nothing.
+func TestEngineScheduleSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	warm := func() {
+		for i := 0; i < 512; i++ {
+			e.Schedule(Time(i%13)*1e-4, fn)
+		}
+		e.Run()
+	}
+	warm()
+	if avg := testing.AllocsPerRun(20, warm); avg != 0 {
+		t.Fatalf("steady-state schedule+run allocates %.1f times per cycle, want 0", avg)
+	}
+}
+
+// BenchmarkEngineSchedule measures the hot path: schedule a batch of
+// out-of-order events and drain them. Compare with
+// BenchmarkBoxedEngineSchedule (the pre-rewrite container/heap engine
+// preserved in engine_reference_test.go).
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 128; k++ {
+			e.Schedule(Time(k%17)*1e-4, fn)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineCancelHeavy models retransmission-timer churn: every
+// scheduled timer is cancelled before it can fire, while a sparse
+// stream of real events keeps the clock moving. The old engine never
+// reclaimed the corpses.
+func BenchmarkEngineCancelHeavy(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ids := make([]EventID, 0, 256)
+		for k := 0; k < 256; k++ {
+			ids = append(ids, e.Schedule(1e3+Time(k), fn)) // far-future timers
+		}
+		for _, id := range ids {
+			e.Cancel(id)
+		}
+		e.Schedule(1e-5, fn)
+		e.RunUntil(e.Now() + 1e-4)
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+// The pre-rewrite event loop, preserved verbatim in spirit for
+// benchmarking: container/heap with boxed push/pop, one allocation per
+// scheduled event, lazy deletion with no compaction. The Benchmark*
+// pairs in engine_perf_test.go measure the rewrite against this
+// baseline; the speedups quoted in EXPERIMENTS.md come from these
+// benchmarks, so keep the reference faithful.
+
+import (
+	"container/heap"
+	"testing"
+)
+
+type boxedEvent struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+type boxedQueue []*boxedEvent
+
+func (q boxedQueue) Len() int { return len(q) }
+func (q boxedQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q boxedQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *boxedQueue) Push(x any)   { *q = append(*q, x.(*boxedEvent)) }
+func (q *boxedQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type boxedEngine struct {
+	now   Time
+	seq   uint64
+	queue boxedQueue
+	live  int
+}
+
+func (e *boxedEngine) Schedule(delay Time, fn func()) *boxedEvent {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &boxedEvent{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	e.live++
+	return ev
+}
+
+func (e *boxedEngine) Cancel(ev *boxedEvent) {
+	if ev != nil && !ev.dead {
+		ev.dead = true
+		e.live--
+	}
+}
+
+func (e *boxedEngine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > deadline {
+			if deadline < Infinity {
+				e.now = deadline
+			}
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		next.dead = true
+		e.live--
+		e.now = next.at
+		next.fn()
+	}
+	if deadline < Infinity && deadline > e.now {
+		e.now = deadline
+	}
+	return e.now
+}
+
+func (e *boxedEngine) Run() Time { return e.RunUntil(Infinity) }
+
+// BenchmarkBoxedEngineSchedule is BenchmarkEngineSchedule on the old
+// engine.
+func BenchmarkBoxedEngineSchedule(b *testing.B) {
+	e := &boxedEngine{}
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 128; k++ {
+			e.Schedule(Time(k%17)*1e-4, fn)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkBoxedEngineCancelHeavy is BenchmarkEngineCancelHeavy on the
+// old engine — the leaking case: cancelled far-future timers pile up in
+// the heap forever, so per-iteration cost grows with b.N.
+func BenchmarkBoxedEngineCancelHeavy(b *testing.B) {
+	e := &boxedEngine{}
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		evs := make([]*boxedEvent, 0, 256)
+		for k := 0; k < 256; k++ {
+			evs = append(evs, e.Schedule(1e3+Time(k), fn))
+		}
+		for _, ev := range evs {
+			e.Cancel(ev)
+		}
+		e.Schedule(1e-5, fn)
+		e.RunUntil(e.Now() + 1e-4)
+	}
+}
+
+func (e *boxedEngine) Now() Time { return e.now }

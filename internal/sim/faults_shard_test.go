@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// shardSink is a per-shard FaultSink: each target's outage toggles
+// state owned by that target's shard and spawns follow-up load on the
+// same engine, so crashes and recoveries landing on different shards
+// exercise the full windowed interleave.
+type shardSink struct {
+	eng    *Engine
+	down   map[string]bool
+	cRecov *obs.Counter
+}
+
+func (s *shardSink) CrashTarget(target string) {
+	s.down[target] = true
+	// A repair job two windows out, on this shard's own engine.
+	s.eng.Schedule(0.004, func() {
+		if s.down[target] {
+			s.cRecov.Inc()
+		}
+	})
+}
+
+func (s *shardSink) RecoverTarget(target string) { s.down[target] = false }
+
+// faultShardFixture schedules one plan across a cluster of the given
+// shard count, with background load on every shard and time series
+// sampling armed, and returns the snapshot and series CSV bytes.
+func faultShardFixture(t *testing.T, shards int) (snap, csv []byte) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.EnableTimeSeries(0.005)
+	tr := obs.NewTracer()
+	cl := NewCluster(shards, Infinity)
+	cl.Instrument(reg, tr)
+
+	plan := NewFaultPlan()
+	for i := 0; i < 8; i++ {
+		target := fmt.Sprintf("oss%02d", i)
+		plan.Add(target, Time(i)*0.003+0.001, 0.01)
+		plan.Add(target, 0.05+Time(i)*0.002, 0) // later, permanent
+	}
+	place := func(target string) int {
+		var h int
+		for _, c := range target {
+			h = h*31 + int(c)
+		}
+		if h < 0 {
+			h = -h
+		}
+		return h % shards
+	}
+	sinks := make([]FaultSink, shards)
+	cPending := reg.Counter("test.repairs.pending")
+	for i := range sinks {
+		sinks[i] = &shardSink{eng: cl.Shard(i), down: make(map[string]bool), cRecov: cPending}
+	}
+	if err := plan.ScheduleSharded(cl, place, sinks); err != nil {
+		t.Fatal(err)
+	}
+	// Background load so windows always have work beyond the faults: a
+	// fixed set of logical events, each placed by its own stable name —
+	// the model must not depend on the shard count.
+	for k := 0; k < 30; k++ {
+		home := place(fmt.Sprintf("bg%02d", k))
+		cl.Shard(home).At(Time(k%10)*0.007, func() {})
+	}
+	cl.Run()
+
+	var sb, cb bytes.Buffer
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteSeriesCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.Bytes(), cb.Bytes()
+}
+
+// TestFaultPlanShardedByteIdentical: crash/recovery events and sampler
+// ticks landing on different shards produce byte-identical sim.faults.*
+// counters and sim.events.pending series across shard counts 1 and 4.
+func TestFaultPlanShardedByteIdentical(t *testing.T) {
+	snap1, csv1 := faultShardFixture(t, 1)
+	snap4, csv4 := faultShardFixture(t, 4)
+	if !bytes.Equal(snap1, snap4) {
+		t.Errorf("snapshots differ between 1 and 4 shards:\n1: %s\n4: %s", snap1, snap4)
+	}
+	if !bytes.Equal(csv1, csv4) {
+		t.Errorf("series CSVs differ between 1 and 4 shards:\n1: %s\n4: %s", csv1, csv4)
+	}
+	if !bytes.Contains(snap1, []byte(`"sim.faults.injected": 16`)) {
+		t.Errorf("snapshot missing expected sim.faults.injected count: %s", snap1)
+	}
+	if !bytes.Contains(snap1, []byte(`"sim.faults.recovered": 8`)) {
+		t.Errorf("snapshot missing expected sim.faults.recovered count: %s", snap1)
+	}
+	if !bytes.Contains(csv1, []byte("sim.events.pending")) {
+		t.Errorf("series CSV missing sim.events.pending: %s", csv1)
+	}
+}
+
+func TestScheduleShardedValidates(t *testing.T) {
+	plan := NewFaultPlan().Add("a", 1, 0)
+	cl := NewCluster(2, Infinity)
+	reg := obs.NewRegistry()
+	cl.Instrument(reg, nil)
+
+	err := plan.ScheduleSharded(cl, func(string) int { return 0 }, make([]FaultSink, 1))
+	if !errors.Is(err, ErrInvalidPlan) {
+		t.Fatalf("wrong sink count: err = %v, want ErrInvalidPlan", err)
+	}
+	err = plan.ScheduleSharded(cl, func(string) int { return 7 }, []FaultSink{&shardSink{down: map[string]bool{}}, &shardSink{down: map[string]bool{}}})
+	if !errors.Is(err, ErrInvalidPlan) {
+		t.Fatalf("out-of-range placement: err = %v, want ErrInvalidPlan", err)
+	}
+	bad := NewFaultPlan().Add("a", 5, 0).Add("a", 1, 0)
+	err = bad.ScheduleSharded(cl, func(string) int { return 0 }, []FaultSink{&shardSink{down: map[string]bool{}}, &shardSink{down: map[string]bool{}}})
+	if !errors.Is(err, ErrInvalidPlan) {
+		t.Fatalf("unsorted plan: err = %v, want ErrInvalidPlan", err)
+	}
+}

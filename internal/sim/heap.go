@@ -1,0 +1,96 @@
+package sim
+
+// An inlined generic binary min-heap. container/heap costs an interface
+// method call for every Less/Swap/Len plus an interface{} boxing
+// allocation on every Push and Pop; at millions of events per run that
+// overhead dominates the engine. Instantiating this heap at a concrete
+// pointer type devirtualizes every comparison, so the compiler inlines
+// lessThan into the sift loops and Push/Pop allocate nothing beyond the
+// amortized backing-slice growth.
+
+// heapOrdered is the element constraint: a strict-weak "less than" on
+// the element's own type. For *event this is the (at, seq) total order.
+type heapOrdered[E any] interface {
+	lessThan(E) bool
+}
+
+// minHeap is a binary min-heap over a slice. The zero value is an empty
+// heap ready for use.
+type minHeap[E heapOrdered[E]] struct {
+	s []E
+}
+
+func (h *minHeap[E]) len() int { return len(h.s) }
+
+// peek returns the minimum element; the heap must be non-empty.
+func (h *minHeap[E]) peek() E { return h.s[0] }
+
+func (h *minHeap[E]) push(x E) {
+	h.s = append(h.s, x)
+	h.up(len(h.s) - 1)
+}
+
+// pop removes and returns the minimum element; the heap must be
+// non-empty. The vacated slot is zeroed so popped elements do not leak
+// through the backing array.
+func (h *minHeap[E]) pop() E {
+	s := h.s
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	var zero E
+	s[n] = zero
+	h.s = s[:n]
+	if n > 1 {
+		h.down(0)
+	}
+	return top
+}
+
+// up sifts the element at index i toward the root. It moves holes, not
+// pairs: the element is held in a register and written once.
+func (h *minHeap[E]) up(i int) {
+	s := h.s
+	x := s[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !x.lessThan(s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = x
+}
+
+// down sifts the element at index i toward the leaves.
+func (h *minHeap[E]) down(i int) {
+	s := h.s
+	n := len(s)
+	x := s[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].lessThan(s[l]) {
+			m = r
+		}
+		if !s[m].lessThan(x) {
+			break
+		}
+		s[i] = s[m]
+		i = m
+	}
+	s[i] = x
+}
+
+// reinit re-establishes the heap invariant over the whole slice after
+// the caller has edited it in place (compaction filters dead events).
+// O(n), cheaper than n pushes.
+func (h *minHeap[E]) reinit() {
+	for i := len(h.s)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}

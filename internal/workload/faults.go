@@ -42,6 +42,15 @@ type FaultSpec struct {
 	// attempt, capped at MaxBackoff (default RetryBackoff).
 	RetryBackoff sim.Time
 	MaxBackoff   sim.Time
+
+	// Shards, when > 0, runs the simulation on a sim.Cluster of that
+	// many shards instead of a plain engine, with the whole file system
+	// on shard 0 (one file system is one shared-state domain; it cannot
+	// be split). The trajectory — and therefore every snapshot, trace,
+	// and series — is byte-identical for any positive shard count; the
+	// CI shard-determinism smoke pins that. Zero keeps the legacy
+	// single-engine path, whose golden snapshots predate the cluster.
+	Shards int
 }
 
 // Validate reports problems with the spec.
@@ -56,8 +65,26 @@ func (s FaultSpec) Validate() error {
 		return fmt.Errorf("workload: negative time in fault spec")
 	case s.MaxRetries < 0:
 		return fmt.Errorf("workload: MaxRetries %d < 0", s.MaxRetries)
+	case s.Shards < 0:
+		return fmt.Errorf("workload: Shards %d < 0", s.Shards)
 	}
 	return nil
+}
+
+// newSimulation builds the event substrate for a harness run: a plain
+// instrumented engine when shards == 0 (the legacy path every golden
+// snapshot pins), or shard 0 of a decoupled sim.Cluster — infinite
+// lookahead, since a single-domain model never sends — whose run
+// function drives the windowed coordinator.
+func newSimulation(shards int, reg *obs.Registry, tr *obs.Tracer) (*sim.Engine, func() sim.Time) {
+	if shards <= 0 {
+		eng := sim.NewEngine()
+		eng.Instrument(reg, tr)
+		return eng, eng.Run
+	}
+	cl := sim.NewCluster(shards, sim.Infinity)
+	cl.Instrument(reg, tr)
+	return cl.Shard(0), cl.Run
 }
 
 // faulty reports whether any fault machinery is active; a non-faulty run
@@ -102,8 +129,7 @@ func RunFaults(cfg pfs.Config, fspec FaultSpec, reg *obs.Registry, tr *obs.Trace
 	if err := fspec.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.NewEngine()
-	eng.Instrument(reg, tr)
+	eng, run := newSimulation(fspec.Shards, reg, tr)
 	fs := pfs.New(eng, cfg)
 	if err := fs.InjectFaults(fspec.Plan); err != nil {
 		panic(err)
@@ -265,7 +291,7 @@ func RunFaults(cfg pfs.Config, fspec FaultSpec, reg *obs.Registry, tr *obs.Trace
 		}
 	}
 
-	eng.Run()
+	run()
 	result.Spec = spec
 	result.TotalBytes = int64(spec.Ranks) * spec.BytesPerRank * int64(fspec.Checkpoints)
 	if result.Elapsed > 0 {

@@ -32,6 +32,12 @@ type IntegritySpec struct {
 	// ScrubInterval, when > 0, runs a full Scrub pass every interval
 	// throughout the dwell window.
 	ScrubInterval sim.Time
+
+	// Shards, when > 0, runs the simulation on a sim.Cluster of that
+	// many shards with the file system on shard 0 (see
+	// FaultSpec.Shards); output is byte-identical for any positive
+	// count. Zero keeps the legacy single-engine path.
+	Shards int
 }
 
 // Validate reports problems with the spec.
@@ -41,6 +47,9 @@ func (s IntegritySpec) Validate() error {
 	}
 	if s.Expose < 0 || s.ScrubInterval < 0 {
 		return fmt.Errorf("workload: negative time in integrity spec")
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("workload: Shards %d < 0", s.Shards)
 	}
 	return nil
 }
@@ -78,8 +87,7 @@ func RunIntegrity(cfg pfs.Config, ispec IntegritySpec, reg *obs.Registry, tr *ob
 	if err := ispec.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.NewEngine()
-	eng.Instrument(reg, tr)
+	eng, run := newSimulation(ispec.Shards, reg, tr)
 	fs := pfs.New(eng, cfg)
 	if err := fs.InjectCorruption(ispec.Events); err != nil {
 		panic(err)
@@ -190,7 +198,7 @@ func RunIntegrity(cfg pfs.Config, ispec IntegritySpec, reg *obs.Registry, tr *ob
 		}
 	}
 
-	eng.Run()
+	run()
 	result.Write.Spec = spec
 	result.Write.TotalBytes = int64(spec.Ranks) * spec.BytesPerRank
 	if result.Write.Elapsed > 0 {

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func scaleFixtureSpec(shards int) ScaleSpec {
+	return ScaleSpec{
+		Pods:            6,
+		RanksPerPod:     4,
+		ServersPerPod:   3,
+		Rounds:          3,
+		BytesPerRank:    192 << 10,
+		ComputeTime:     0.5,
+		InterPodLatency: 5e-6,
+		Shards:          shards,
+	}
+}
+
+func runScaleFixture(t *testing.T, shards int) ([]byte, ScaleResult) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	res := RunScale(scaleFixtureSpec(shards), reg)
+	var snap bytes.Buffer
+	if err := reg.WriteJSON(&snap); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return snap.Bytes(), res
+}
+
+// TestScaleByteIdenticalAcrossShardsAndProcs is the scale experiment's
+// determinism contract: the registry snapshot and every logical result
+// field are byte-identical for any shard count at any GOMAXPROCS.
+func TestScaleByteIdenticalAcrossShardsAndProcs(t *testing.T) {
+	refSnap, refRes := runScaleFixture(t, 1)
+	if refRes.WallClock <= 0 {
+		t.Fatalf("reference run did not advance: wall=%v", refRes.WallClock)
+	}
+	if got := len(refRes.RoundElapsed); got != refRes.Rounds {
+		t.Fatalf("RoundElapsed has %d entries, want %d", got, refRes.Rounds)
+	}
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, shards := range []int{1, 2, 8} {
+			snap, res := runScaleFixture(t, shards)
+			if !bytes.Equal(snap, refSnap) {
+				t.Errorf("shards=%d procs=%d: snapshot differs from shards=1 reference", shards, procs)
+			}
+			if res.WallClock != refRes.WallClock {
+				t.Errorf("shards=%d procs=%d: wall %v != %v", shards, procs, res.WallClock, refRes.WallClock)
+			}
+			if res.Events != refRes.Events {
+				t.Errorf("shards=%d procs=%d: events %d != %d", shards, procs, res.Events, refRes.Events)
+			}
+			for i := range res.RoundElapsed {
+				if res.RoundElapsed[i] != refRes.RoundElapsed[i] {
+					t.Errorf("shards=%d procs=%d: round %d elapsed %v != %v",
+						shards, procs, i, res.RoundElapsed[i], refRes.RoundElapsed[i])
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// TestScaleRoundsBarrier checks the global round barrier: each round's
+// coordinator-observed duration covers at least two interconnect
+// crossings plus the compute phase.
+func TestScaleRoundsBarrier(t *testing.T) {
+	_, res := runScaleFixture(t, 2)
+	floor := scaleFixtureSpec(2).ComputeTime + 2*scaleFixtureSpec(2).InterPodLatency
+	for i, d := range res.RoundElapsed {
+		if d < floor {
+			t.Errorf("round %d elapsed %v below floor %v", i, d, floor)
+		}
+	}
+	if res.Ranks != 24 || res.Servers != 18 {
+		t.Errorf("totals: ranks=%d servers=%d", res.Ranks, res.Servers)
+	}
+}
+
+// TestScaleSpecValidate exercises the rejection paths.
+func TestScaleSpecValidate(t *testing.T) {
+	good := scaleFixtureSpec(2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	bad := []ScaleSpec{}
+	for _, mut := range []func(*ScaleSpec){
+		func(s *ScaleSpec) { s.Pods = 0 },
+		func(s *ScaleSpec) { s.RanksPerPod = 0 },
+		func(s *ScaleSpec) { s.ServersPerPod = 0 },
+		func(s *ScaleSpec) { s.Rounds = 0 },
+		func(s *ScaleSpec) { s.BytesPerRank = 0 },
+		func(s *ScaleSpec) { s.ComputeTime = -1 },
+		func(s *ScaleSpec) { s.InterPodLatency = 0 },
+		func(s *ScaleSpec) { s.Shards = 0 },
+	} {
+		s := good
+		mut(&s)
+		bad = append(bad, s)
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
