@@ -28,3 +28,4 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=GlobalIndex -benchtime=1x ./internal/core/...
 	$(GO) test -run=NONE -bench='Quantile|OpTimer' -benchtime=1x ./internal/obs/...
 	$(GO) test -run=NONE -bench='EngineSchedule|EngineCancelHeavy' -benchtime=1x ./internal/sim/...
+	$(GO) test -run=NONE -bench=BB -benchtime=1x ./internal/bb/...

@@ -12,6 +12,8 @@
 //	plfsbench -sweep -json BENCH_plfs.json
 //	plfsbench -pattern nn -mtbf 8 -checkpoints 4 -compute 0.5
 //	plfsbench -corrupt-rate 20 -scrub 600 -verify=false
+//	plfsbench -pattern nn -bb-mode back -bb-nodes 2 -bb-capacity-mb 32 -bb-drain-mbps 100
+//	plfsbench -pattern nn -bb-mode back -mtbf 8   # buffered rounds under OSS crashes
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/bb"
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/obs"
@@ -252,7 +255,7 @@ func runCorrupt(cfg pfs.Config, p workload.Pattern, ranks int, mbEach, record in
 // fault plan: servers crash with exponential interarrivals of the given
 // MTBF while the application alternates compute and checkpoint rounds,
 // retrying failed ops with capped backoff.
-func runFaulty(cfg pfs.Config, p workload.Pattern, ranks int, mbEach, record int64,
+func runFaulty(cfg pfs.Config, bcfg *bb.Config, p workload.Pattern, ranks int, mbEach, record int64,
 	mtbf, downtime, computeSec float64, ckpts int, seed int64, shards int, reg *obs.Registry, tr *obs.Tracer) {
 	spec := workload.Spec{
 		Ranks: ranks, BytesPerRank: mbEach << 20, RecordSize: record,
@@ -277,10 +280,14 @@ func runFaulty(cfg pfs.Config, p workload.Pattern, ranks int, mbEach, record int
 		MaxRetries:   6,
 		RetryBackoff: sim.Time(5e-3),
 		MaxBackoff:   sim.Time(0.1),
+		BB:           bcfg,
 		Shards:       shards,
 	}, reg, tr)
 	fmt.Printf("file system:   %s (%d servers), per-server MTBF %.1f s, downtime %.1f s\n",
 		cfg.Name, cfg.NumServers, mtbf, downtime)
+	if bcfg != nil {
+		printBBLines(bcfg, res)
+	}
 	fmt.Printf("pattern:       %s, %d ranks x %d MiB x %d checkpoints\n", p, ranks, mbEach, ckpts)
 	fmt.Printf("healthy ckpt:  %v\n", clean.Elapsed)
 	fmt.Printf("faulty ckpts:  %v total (%.2fx slowdown)\n",
@@ -289,6 +296,48 @@ func runFaulty(cfg pfs.Config, p workload.Pattern, ranks int, mbEach, record int
 	fmt.Printf("faults:        %d crashes, %d recoveries, %d failed ops, %d degraded reads\n",
 		res.Faults.Crashes, res.Faults.Recoveries, res.Faults.FailedOps, res.Faults.DegradedReads)
 	fmt.Printf("client:        %d retries, %d dropped ops\n", res.Retries, res.DroppedOps)
+}
+
+// printBBLines reports the burst-buffer tier's shape and accounting for
+// any buffered run.
+func printBBLines(bcfg *bb.Config, res workload.FaultResult) {
+	fmt.Printf("burst buffer:  %d nodes x %d MiB flash (%s), %s, drain %.0f MB/s\n",
+		bcfg.Nodes, bcfg.CapacityBytes()>>20, bcfg.Flash.Name, bcfg.Mode, bcfg.DrainBandwidth/1e6)
+	moved := res.BB.DrainedBytes // write-back: async drains; write-through: sync forwards
+	if bcfg.Mode == bb.WriteThrough {
+		moved = res.BB.ForwardedBytes
+	}
+	fmt.Printf("tier:          %d B absorbed, %d to FS, %d stalls, peak occupancy %.2f\n",
+		res.BB.AbsorbedBytes, moved, res.BB.Stalls, res.BB.PeakOccupancy)
+	if res.BB.LostBytes > 0 || res.BB.TornDrains > 0 || res.BB.DroppedDrainBytes > 0 {
+		fmt.Printf("tier faults:   %d dirty bytes lost, %d torn drains, %d drain bytes dropped\n",
+			res.BB.LostBytes, res.BB.TornDrains, res.BB.DroppedDrainBytes)
+	}
+	fmt.Printf("drained at:    %v sim time (tail past the last checkpoint overlaps compute)\n", res.DrainedAt)
+}
+
+// runBuffered executes fault-free compute+checkpoint rounds through a
+// burst-buffer tier and reports the latency hiding against the same
+// rounds on the direct path.
+func runBuffered(cfg pfs.Config, bcfg *bb.Config, p workload.Pattern, ranks int, mbEach, record int64,
+	computeSec float64, ckpts, shards int, reg *obs.Registry, tr *obs.Tracer) {
+	spec := workload.Spec{
+		Ranks: ranks, BytesPerRank: mbEach << 20, RecordSize: record,
+		Pattern: p, PLFSHostdirs: 32, PLFSIndexFlushEvery: 64,
+	}
+	direct := workload.RunFaults(cfg, workload.FaultSpec{
+		Spec: spec, Checkpoints: ckpts, ComputeTime: sim.Time(computeSec), Shards: shards,
+	}, nil, nil)
+	res := workload.RunFaults(cfg, workload.FaultSpec{
+		Spec: spec, Checkpoints: ckpts, ComputeTime: sim.Time(computeSec), BB: bcfg, Shards: shards,
+	}, reg, tr)
+	fmt.Printf("file system:   %s (%d servers)\n", cfg.Name, cfg.NumServers)
+	printBBLines(bcfg, res)
+	fmt.Printf("pattern:       %s, %d ranks x %d MiB x %d checkpoints\n", p, ranks, mbEach, ckpts)
+	fmt.Printf("direct ckpts:  %v\n", direct.Elapsed)
+	fmt.Printf("buffered:      %v (%.2fx faster application-visible)\n",
+		res.Elapsed, float64(direct.Elapsed)/float64(res.Elapsed))
+	fmt.Printf("utilization:   %.3f buffered vs %.3f direct\n", res.Utilization, direct.Utilization)
 }
 
 func pattern(name string) (workload.Pattern, bool) {
@@ -326,6 +375,10 @@ func main() {
 		faultSeed  = flag.Int64("fault-seed", 42, "seed for the deterministic fault draw")
 		ckpts      = flag.Int("checkpoints", 4, "compute+checkpoint rounds under -mtbf")
 		shards     = flag.Int("shards", 0, "run the simulation on a sharded cluster of this many event queues (0 = single engine); outputs are byte-identical for any value")
+		bbMode     = flag.String("bb-mode", "off", "burst-buffer tier between ranks and the FS: off, back (write-back), through (write-through)")
+		bbNodes    = flag.Int("bb-nodes", 2, "burst-buffer node count (with -bb-mode)")
+		bbCapMB    = flag.Int64("bb-capacity-mb", 32, "flash capacity per burst-buffer node in MiB (with -bb-mode)")
+		bbDrain    = flag.Float64("bb-drain-mbps", 100, "burst-buffer drain bandwidth to the FS in MB/s (with -bb-mode)")
 		computeSec = flag.Float64("compute", 0.5, "simulated compute seconds between checkpoints under -mtbf")
 		jsonPath   = flag.String("json", "", "write machine-readable results (JSON) to this file")
 		metrics    = flag.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file")
@@ -339,6 +392,26 @@ func main() {
 	cfg, ok := fsConfig(*fsName, *servers)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown -fs %q\n", *fsName)
+		os.Exit(2)
+	}
+
+	var bbCfg *bb.Config
+	switch *bbMode {
+	case "off":
+	case "back", "through":
+		c := bb.DefaultConfig(*bbNodes)
+		if *bbMode == "through" {
+			c.Mode = bb.WriteThrough
+		}
+		c.Flash.UserPages = int(*bbCapMB << 20 / c.Flash.PageSize)
+		c.DrainBandwidth = *bbDrain * 1e6
+		if err := c.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		bbCfg = &c
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -bb-mode %q (off, back, through)\n", *bbMode)
 		os.Exit(2)
 	}
 
@@ -417,7 +490,11 @@ func main() {
 		return
 	}
 	if *mtbf > 0 {
-		runFaulty(cfg, p, *ranks, *mbEach, *record, *mtbf, *downtime, *computeSec, *ckpts, *faultSeed, *shards, reg, tr)
+		runFaulty(cfg, bbCfg, p, *ranks, *mbEach, *record, *mtbf, *downtime, *computeSec, *ckpts, *faultSeed, *shards, reg, tr)
+		return
+	}
+	if bbCfg != nil {
+		runBuffered(cfg, bbCfg, p, *ranks, *mbEach, *record, *computeSec, *ckpts, *shards, reg, tr)
 		return
 	}
 	res := workload.RunProbed(cfg, workload.Spec{

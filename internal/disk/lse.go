@@ -102,6 +102,28 @@ func NewCorruptor(events []CorruptionEvent) *Corruptor {
 	}
 }
 
+// Add arms one more event at run time — how a torn burst-buffer drain
+// lands corruption discovered mid-simulation rather than drawn ahead of
+// it. The event is inserted in arrival order so the sorted-by-At
+// invariant every query relies on still holds; an event whose At has
+// already passed is legal and becomes visible to the next query.
+// Invalid events panic exactly as NewCorruptor's do.
+func (c *Corruptor) Add(e CorruptionEvent) {
+	if e.Offset < 0 || e.Length <= 0 || e.At < 0 {
+		panic(fmt.Sprintf("disk: invalid corruption event %+v", e))
+	}
+	i := sort.Search(len(c.events), func(i int) bool { return c.events[i].At > e.At })
+	c.events = append(c.events, CorruptionEvent{})
+	c.repaired = append(c.repaired, false)
+	c.arrived = append(c.arrived, false)
+	copy(c.events[i+1:], c.events[i:])
+	copy(c.repaired[i+1:], c.repaired[i:])
+	copy(c.arrived[i+1:], c.arrived[i:])
+	c.events[i] = e
+	c.repaired[i] = false
+	c.arrived[i] = false
+}
+
 // Len reports the total number of armed events (0 on nil).
 func (c *Corruptor) Len() int {
 	if c == nil {

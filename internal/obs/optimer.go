@@ -39,6 +39,9 @@ const (
 	StageDegraded
 	// StageBackoff is retry backoff delay accumulated across attempts.
 	StageBackoff
+	// StageFlash is flash program/read service time on the burst-buffer
+	// hop (FTL page programming including inline GC).
+	StageFlash
 
 	// NumStages is the number of stages; it must stay last.
 	NumStages
@@ -56,6 +59,7 @@ var stageNames = [NumStages]string{
 	"disk_transfer",
 	"degraded",
 	"backoff",
+	"flash",
 }
 
 // String returns the stage's metric-name segment.

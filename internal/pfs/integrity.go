@@ -85,6 +85,48 @@ func (fs *FS) InjectCorruption(events [][]disk.CorruptionEvent) error {
 	return nil
 }
 
+// CorruptExtent marks [off, off+size) of the named file corrupt as of
+// the current sim-time — the landing zone of a write that only partially
+// reached the servers, such as a burst-buffer drain torn mid-stream by
+// the buffer node's crash (disk.TornWrite mode). The extent is resolved
+// through the same stripe-unit placement the data path uses, so the rot
+// lands exactly where the drain's pieces would have; pieces whose stripe
+// units were never allocated are skipped (nothing stale exists there to
+// lie about). Returns the number of stripe-unit pieces marked. Like
+// InjectCorruption, a first marked piece arms the pfs.integrity.*
+// metrics lazily, so runs without corruption keep their snapshots.
+func (fs *FS) CorruptExtent(name string, off, size int64) int {
+	st, ok := fs.files[name]
+	if !ok || size <= 0 || off < 0 {
+		return 0
+	}
+	now := fs.eng.Now()
+	n := 0
+	for _, p := range split(off, size, fs.Cfg.StripeUnit) {
+		s := fs.serverFor(st, p.unit)
+		diskOff, ok := s.extent[stripeKey{file: st.id, unit: p.unit}]
+		if !ok {
+			continue
+		}
+		if s.corr == nil {
+			s.corr = disk.NewCorruptor(nil)
+		}
+		s.corr.Add(disk.CorruptionEvent{
+			Offset: diskOff + p.offIn,
+			Length: p.size,
+			At:     now,
+			Mode:   disk.TornWrite,
+		})
+		n++
+	}
+	if n > 0 {
+		fs.armIntegrity()
+		fs.integrity.Injected += int64(n)
+		fs.cIntInjected.Add(int64(n))
+	}
+	return n
+}
+
 // armIntegrity lazily registers the integrity instruments. Kept out of
 // instrument() so that runs without injected corruption — including the
 // pre-PR golden snapshots — register exactly the same metric set as

@@ -44,6 +44,32 @@ type FaultSink interface {
 	RecoverTarget(target string)
 }
 
+// FanoutSink broadcasts every crash/recovery callback to each sink in
+// order. It exists so one plan can drive several subsystems (the striped
+// FS and the burst-buffer tier) while being scheduled exactly once —
+// scheduling the same plan twice would double the sim.faults.* counters
+// and duplicate the trace instants. Sinks ignore foreign targets by
+// contract, so the fan-out needs no routing. Nil entries are skipped.
+type FanoutSink []FaultSink
+
+// CrashTarget implements FaultSink.
+func (f FanoutSink) CrashTarget(target string) {
+	for _, s := range f {
+		if s != nil {
+			s.CrashTarget(target)
+		}
+	}
+}
+
+// RecoverTarget implements FaultSink.
+func (f FanoutSink) RecoverTarget(target string) {
+	for _, s := range f {
+		if s != nil {
+			s.RecoverTarget(target)
+		}
+	}
+}
+
 // FaultPlan is an ordered set of fault events. The zero value and the nil
 // plan are both valid, empty plans; scheduling them is a no-op, so the
 // fault layer costs nothing when disabled.

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 
+	"repro/internal/bb"
 	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/sim"
@@ -43,6 +44,14 @@ type FaultSpec struct {
 	RetryBackoff sim.Time
 	MaxBackoff   sim.Time
 
+	// BB, when non-nil, routes every checkpoint write through a burst-
+	// buffer tier of the given shape (see internal/bb) instead of
+	// straight into the file system; reads still bypass the buffer.
+	// Fault-plan targets named bb.NodeTarget crash buffer nodes (the
+	// plan drives both layers through one sim.FanoutSink). Nil keeps
+	// the direct path, byte-identical to a build without the tier.
+	BB *bb.Config
+
 	// Shards, when > 0, runs the simulation on a sim.Cluster of that
 	// many shards instead of a plain engine, with the whole file system
 	// on shard 0 (one file system is one shared-state domain; it cannot
@@ -67,6 +76,11 @@ func (s FaultSpec) Validate() error {
 		return fmt.Errorf("workload: MaxRetries %d < 0", s.MaxRetries)
 	case s.Shards < 0:
 		return fmt.Errorf("workload: Shards %d < 0", s.Shards)
+	}
+	if s.BB != nil {
+		if err := s.BB.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -119,6 +133,13 @@ type FaultResult struct {
 
 	// Faults is the file system's failure-layer accounting.
 	Faults pfs.FaultStats
+
+	// BB is the burst-buffer tier's accounting (zero without one), and
+	// DrainedAt the sim-time the tier finished draining after the last
+	// checkpoint round — WallClock excludes that tail because the
+	// application is already computing while it drains.
+	BB        bb.Stats
+	DrainedAt sim.Time
 }
 
 // RunFaults executes Checkpoints rounds of compute followed by the
@@ -131,8 +152,20 @@ func RunFaults(cfg pfs.Config, fspec FaultSpec, reg *obs.Registry, tr *obs.Trace
 	}
 	eng, run := newSimulation(fspec.Shards, reg, tr)
 	fs := pfs.New(eng, cfg)
-	if err := fs.InjectFaults(fspec.Plan); err != nil {
-		panic(err)
+	var tier *bb.Tier
+	if fspec.BB != nil {
+		tier = bb.NewTier(fs, *fspec.BB)
+	}
+	if tier == nil {
+		if err := fs.InjectFaults(fspec.Plan); err != nil {
+			panic(err)
+		}
+	} else {
+		// One plan drives both layers; scheduling it once through a
+		// fan-out keeps the sim.faults.* counters and trace exact.
+		if err := fspec.Plan.Schedule(eng, sim.FanoutSink{fs, tier}); err != nil {
+			panic(err)
+		}
 	}
 
 	// Fault-path instruments exist only on faulty runs so that a
@@ -221,9 +254,12 @@ func RunFaults(cfg pfs.Config, fspec FaultSpec, reg *obs.Registry, tr *obs.Trace
 						issue(i + 1)
 					}
 					try = func() {
-						if o.Read {
+						switch {
+						case o.Read:
 							clients[r].ReadOp(h, o.Off, o.Size, ot, complete)
-						} else {
+						case tier != nil:
+							tier.WriteOp(r, h, o.Off, o.Size, ot, complete)
+						default:
 							clients[r].WriteOp(h, o.Off, o.Size, ot, complete)
 						}
 					}
@@ -299,6 +335,10 @@ func RunFaults(cfg pfs.Config, fspec FaultSpec, reg *obs.Registry, tr *obs.Trace
 	}
 	result.MetadataOps = fs.MetadataOps()
 	result.Faults = fs.FaultStats()
+	if tier != nil {
+		result.BB = tier.Stats()
+		result.DrainedAt = eng.Now()
+	}
 	if result.WallClock > 0 {
 		result.Utilization = float64(fspec.ComputeTime) * float64(fspec.Checkpoints) / float64(result.WallClock)
 	}
