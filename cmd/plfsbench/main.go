@@ -11,6 +11,7 @@
 //	plfsbench -indexbench -entries 1048576 -writers 64
 //	plfsbench -sweep -json BENCH_plfs.json
 //	plfsbench -pattern nn -mtbf 8 -checkpoints 4 -compute 0.5
+//	plfsbench -pattern nn -mtbf 8 -ec-k 4 -ec-m 2 -ec-declustering 0.5
 //	plfsbench -corrupt-rate 20 -scrub 600 -verify=false
 //	plfsbench -pattern nn -bb-mode back -bb-nodes 2 -bb-capacity-mb 32 -bb-drain-mbps 100
 //	plfsbench -pattern nn -bb-mode back -mtbf 8   # buffered rounds under OSS crashes
@@ -374,6 +375,9 @@ func main() {
 		downtime   = flag.Float64("downtime", 0.5, "crash downtime in seconds (0 = permanent failure)")
 		faultSeed  = flag.Int64("fault-seed", 42, "seed for the deterministic fault draw")
 		ckpts      = flag.Int("checkpoints", 4, "compute+checkpoint rounds under -mtbf")
+		ecK        = flag.Int("ec-k", 0, "erasure coding: data fragments per redundancy group (0 = legacy parity-neighbour model)")
+		ecM        = flag.Int("ec-m", 0, "erasure coding: parity fragments per group (with -ec-k)")
+		ecRatio    = flag.Float64("ec-declustering", 1, "erasure coding: declustering window as a fraction of the server population, in (0,1]")
 		shards     = flag.Int("shards", 0, "run the simulation on a sharded cluster of this many event queues (0 = single engine); outputs are byte-identical for any value")
 		bbMode     = flag.String("bb-mode", "off", "burst-buffer tier between ranks and the FS: off, back (write-back), through (write-through)")
 		bbNodes    = flag.Int("bb-nodes", 2, "burst-buffer node count (with -bb-mode)")
@@ -393,6 +397,13 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown -fs %q\n", *fsName)
 		os.Exit(2)
+	}
+	if *ecK > 0 || *ecM > 0 {
+		cfg.Redundancy = pfs.Redundancy{K: *ecK, M: *ecM, Declustering: *ecRatio}
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	var bbCfg *bb.Config

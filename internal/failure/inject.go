@@ -41,6 +41,32 @@ type OSSFaultSpec struct {
 	// Target overrides the "oss<i>" naming convention (the one
 	// internal/pfs resolves) when the plan drives another subsystem.
 	Target func(i int) string
+
+	// Bursts adds correlated multi-server failures on top of the
+	// independent per-server draw. The zero value disables bursts and
+	// keeps the draw byte-identical to the burst-free one.
+	Bursts BurstSpec
+}
+
+// BurstSpec parameterizes correlated failure bursts: simultaneous
+// multi-drive crashes of the kind a shared power rail, cooling zone, or
+// rack switch produces, which the independent per-server Weibull streams
+// of DrawOSSFaults can never generate. Bursts arrive as a Poisson
+// process and crash Size randomly chosen servers at the same instant —
+// exactly the overlapping-failure pattern that defeats single-parity
+// redundancy and that the rebuild experiment uses to probe k+m groups.
+type BurstSpec struct {
+	// MTBB is the mean time between bursts in seconds; <= 0 disables
+	// bursts entirely.
+	MTBB float64
+
+	// Size is the number of servers each burst crashes simultaneously
+	// (minimum 2; values below are raised to 2).
+	Size int
+
+	// Downtime is each burst member's outage in seconds; zero inherits
+	// the spec's Downtime (so zero there too means permanent).
+	Downtime float64
 }
 
 func (s OSSFaultSpec) validate() error {
@@ -50,12 +76,54 @@ func (s OSSFaultSpec) validate() error {
 	return nil
 }
 
+// BurstStats reports what a burst-enabled draw actually scheduled.
+type BurstStats struct {
+	// Bursts counts burst arrivals inside the horizon; Crashes counts
+	// the member crash events added to the plan.
+	Bursts  int
+	Crashes int
+
+	// Skipped counts members dropped because the burst landed inside an
+	// existing outage of theirs (a sim.FaultPlan admits no overlapping
+	// per-target events, and a crash during an outage is unobservable
+	// anyway).
+	Skipped int
+}
+
+// plannedEvent is one (crash, outage) pair during plan assembly.
+type plannedEvent struct {
+	at   sim.Time
+	down sim.Time
+}
+
+// end returns the first instant after the outage; a permanent failure
+// (down <= 0) never ends.
+func (e plannedEvent) end(horizon float64) sim.Time {
+	if e.down <= 0 {
+		return sim.Time(horizon)
+	}
+	return e.at + e.down
+}
+
 // DrawOSSFaults draws a deterministic fault plan from the spec: the same
 // spec and seed always produce the same plan, and the plan is plain data,
 // so the whole fault-injected simulation inherits the engine's
 // reproducibility. Servers draw from independent streams (seed offset by
 // server index), so adding a server never perturbs the others' schedules.
+// With spec.Bursts armed, correlated multi-server crashes merge into the
+// same plan (see DrawOSSFaultsDetailed for their accounting).
 func DrawOSSFaults(spec OSSFaultSpec, seed int64) *sim.FaultPlan {
+	plan, _ := DrawOSSFaultsDetailed(spec, seed)
+	return plan
+}
+
+// DrawOSSFaultsDetailed is DrawOSSFaults plus the burst accounting. The
+// burst stream is drawn from its own generator (independent of every
+// per-server stream), each burst picks Size distinct members, and a
+// member crash merges into that server's independent schedule unless it
+// overlaps an existing outage — overlapping events are skipped (counted
+// in Skipped) so the plan always validates.
+func DrawOSSFaultsDetailed(spec OSSFaultSpec, seed int64) (*sim.FaultPlan, BurstStats) {
 	if err := spec.validate(); err != nil {
 		panic(err)
 	}
@@ -69,12 +137,11 @@ func DrawOSSFaults(spec OSSFaultSpec, seed int64) *sim.FaultPlan {
 	if down < 0 {
 		down = 0
 	}
-	plan := sim.NewFaultPlan()
+	events := make([][]plannedEvent, spec.Servers)
 	for i := 0; i < spec.Servers; i++ {
 		r := rand.New(rand.NewSource(seed + int64(i)))
-		name := target(i)
 		for t := d.Sample(r); t < spec.Horizon; t += d.Sample(r) {
-			plan.Add(name, sim.Time(t), down)
+			events[i] = append(events[i], plannedEvent{at: sim.Time(t), down: down})
 			if down <= 0 {
 				// Permanent failure: nothing later matters for this server.
 				break
@@ -83,5 +150,85 @@ func DrawOSSFaults(spec OSSFaultSpec, seed int64) *sim.FaultPlan {
 			t += spec.Downtime
 		}
 	}
-	return plan
+	var bs BurstStats
+	if spec.Bursts.MTBB > 0 {
+		bs = drawBursts(spec, seed, events)
+	}
+	plan := sim.NewFaultPlan()
+	for i := 0; i < spec.Servers; i++ {
+		name := target(i)
+		for _, ev := range events[i] {
+			plan.Add(name, ev.at, ev.down)
+		}
+	}
+	return plan, bs
+}
+
+// drawBursts merges correlated burst crashes into the per-server event
+// lists, keeping each list sorted and overlap-free. The burst stream's
+// seed is decorrelated from the per-server streams (which use seed+i) by
+// a fixed xor, so arming bursts never perturbs the independent draw.
+func drawBursts(spec OSSFaultSpec, seed int64, events [][]plannedEvent) BurstStats {
+	var bs BurstStats
+	size := spec.Bursts.Size
+	if size < 2 {
+		size = 2
+	}
+	if size > spec.Servers {
+		size = spec.Servers
+	}
+	bdown := sim.Time(spec.Bursts.Downtime)
+	if bdown <= 0 {
+		bdown = sim.Time(spec.Downtime)
+	}
+	if bdown < 0 {
+		bdown = 0
+	}
+	r := rand.New(rand.NewSource(seed ^ 0x6273747273)) // "bstrs"
+	for t := r.ExpFloat64() * spec.Bursts.MTBB; t < spec.Horizon; t += r.ExpFloat64() * spec.Bursts.MTBB {
+		bs.Bursts++
+		members := make(map[int]bool, size)
+		for len(members) < size {
+			members[r.Intn(spec.Servers)] = true
+		}
+		// Map iteration order is not deterministic; the plan must be.
+		ordered := make([]int, 0, size)
+		for i := 0; i < spec.Servers && len(ordered) < size; i++ {
+			if members[i] {
+				ordered = append(ordered, i)
+			}
+		}
+		for _, i := range ordered {
+			if ev, ok := insertEvent(events[i], plannedEvent{at: sim.Time(t), down: bdown}, spec.Horizon); ok {
+				events[i] = ev
+				bs.Crashes++
+			} else {
+				bs.Skipped++
+			}
+		}
+	}
+	return bs
+}
+
+// insertEvent splices ev into the sorted schedule if it neither lands
+// inside an existing outage nor swallows a later event, preserving the
+// FaultPlan invariants (sorted, non-overlapping, permanent-is-last).
+func insertEvent(evs []plannedEvent, ev plannedEvent, horizon float64) ([]plannedEvent, bool) {
+	pos := len(evs)
+	for i, e := range evs {
+		if ev.at < e.at {
+			pos = i
+			break
+		}
+	}
+	if pos > 0 && evs[pos-1].end(horizon) > ev.at {
+		return evs, false // lands inside the previous outage
+	}
+	if pos < len(evs) && ev.end(horizon) > evs[pos].at {
+		return evs, false // its outage would swallow the next event
+	}
+	evs = append(evs, plannedEvent{})
+	copy(evs[pos+1:], evs[pos:])
+	evs[pos] = ev
+	return evs, true
 }

@@ -78,6 +78,80 @@ func TestDrawOSSFaultsTargetOverride(t *testing.T) {
 	}
 }
 
+func TestDrawOSSFaultsBurstsScheduleSimultaneousCrashes(t *testing.T) {
+	spec := testSpec()
+	spec.Servers = 50
+	spec.MTBF = 10000 // keep the independent draw sparse
+	spec.Horizon = 200
+	spec.Bursts = BurstSpec{MTBB: 20, Size: 4, Downtime: 3}
+	plan, bs := DrawOSSFaultsDetailed(spec, 11)
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("burst-merged plan invalid: %v", err)
+	}
+	if bs.Bursts == 0 || bs.Crashes == 0 {
+		t.Fatalf("no bursts drawn over 10 MTBBs: %+v", bs)
+	}
+	// At least one burst must have >= 2 members crashing at the same
+	// instant on distinct targets — the correlated signature.
+	byTime := map[float64]map[string]bool{}
+	for _, ev := range plan.Events() {
+		at := float64(ev.At)
+		if byTime[at] == nil {
+			byTime[at] = map[string]bool{}
+		}
+		byTime[at][ev.Target] = true
+	}
+	simultaneous := 0
+	for _, targets := range byTime {
+		if len(targets) >= 2 {
+			simultaneous++
+		}
+	}
+	if simultaneous == 0 {
+		t.Fatal("no simultaneous multi-target crashes in a burst-enabled draw")
+	}
+
+	// Determinism and independence: the same seed redraws the same plan,
+	// and disarming bursts reproduces the burst-free independent draw.
+	again, _ := DrawOSSFaultsDetailed(spec, 11)
+	if !reflect.DeepEqual(plan.Events(), again.Events()) {
+		t.Fatal("burst draw not deterministic")
+	}
+	noBursts := spec
+	noBursts.Bursts = BurstSpec{}
+	base := DrawOSSFaults(noBursts, 11)
+	if plan.Len() != base.Len()+bs.Crashes {
+		t.Fatalf("burst plan has %d events, want base %d + burst crashes %d",
+			plan.Len(), base.Len(), bs.Crashes)
+	}
+}
+
+func TestBurstInsertSkipsOverlaps(t *testing.T) {
+	// One server already down for [10, 20): a burst at t=15 must be
+	// skipped for it, and the plan must still validate.
+	spec := OSSFaultSpec{Servers: 1, MTBF: 1, Shape: 1, Downtime: 10, Horizon: 100}
+	evs := []plannedEvent{{at: 10, down: 10}}
+	if _, ok := insertEvent(evs, plannedEvent{at: 15, down: 2}, spec.Horizon); ok {
+		t.Fatal("insert inside an existing outage succeeded")
+	}
+	if _, ok := insertEvent(evs, plannedEvent{at: 5, down: 8}, spec.Horizon); ok {
+		t.Fatal("insert whose outage swallows the next event succeeded")
+	}
+	out, ok := insertEvent(evs, plannedEvent{at: 25, down: 2}, spec.Horizon)
+	if !ok || len(out) != 2 || out[1].at != 25 {
+		t.Fatalf("clean insert failed: %v %v", out, ok)
+	}
+	// A permanent event admits nothing after it, and cannot be inserted
+	// before later events.
+	perm := []plannedEvent{{at: 10, down: 0}}
+	if _, ok := insertEvent(perm, plannedEvent{at: 50, down: 1}, spec.Horizon); ok {
+		t.Fatal("insert after a permanent failure succeeded")
+	}
+	if _, ok := insertEvent(evs, plannedEvent{at: 30, down: 0}, spec.Horizon); !ok {
+		t.Fatal("trailing permanent insert failed")
+	}
+}
+
 func TestDrawOSSFaultsInvalidSpecPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -57,6 +57,20 @@ type QuantileSnapshot struct {
 	P999  float64 `json:"p999"`
 }
 
+// Percentile returns the exact nearest-rank q-quantile (0 < q <= 1) of
+// the samples, or 0 for an empty set. It sorts a copy, leaving the input
+// untouched — the standalone companion to the Quantile instrument for
+// harnesses that collect their own sample slices (the rebuild experiment
+// reports foreground p99 under rebuild storms through it).
+func Percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return rank(sorted, q)
+}
+
 // rank returns the exact nearest-rank q-quantile (0 < q <= 1) of sorted,
 // which must be ascending and non-empty.
 func rank(sorted []float64, q float64) float64 {

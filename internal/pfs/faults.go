@@ -89,6 +89,9 @@ func (fs *FS) CrashTarget(target string) {
 	srv.epoch++
 	fs.faults.Crashes++
 	fs.cCrashes.Inc()
+	if fs.red != nil {
+		fs.ecOnCrash(srv)
+	}
 }
 
 // RecoverTarget implements sim.FaultSink: the named server returns to
@@ -102,6 +105,13 @@ func (fs *FS) RecoverTarget(target string) {
 	srv.down = false
 	fs.faults.Recoveries++
 	fs.cRecoveries.Inc()
+	if fs.red != nil {
+		// Under erasure coding recovery means the declustered rebuild
+		// stands down (the data is back); the penalty-window model below
+		// belongs to the legacy parity-neighbour layer only.
+		fs.ecOnRecover(srv)
+		return
+	}
 	if rb := fs.Cfg.RebuildTime; rb > 0 {
 		srv.rebuildUntil = fs.eng.Now() + rb
 		fs.faults.Rebuilds++

@@ -103,7 +103,7 @@ func (fs *FS) CorruptExtent(name string, off, size int64) int {
 	now := fs.eng.Now()
 	n := 0
 	for _, p := range split(off, size, fs.Cfg.StripeUnit) {
-		s := fs.serverFor(st, p.unit)
+		s, _ := fs.dataServer(st, p.unit)
 		diskOff, ok := s.extent[stripeKey{file: st.id, unit: p.unit}]
 		if !ok {
 			continue
@@ -148,16 +148,14 @@ func (fs *FS) armIntegrity() {
 // Checksums off: the rot rides along to the application, counted but
 // unflagged. Checksums on: the mismatch is detected and the unit is
 // repaired before delivery, or the read errors with ErrCorruptData.
-func (fs *FS) readCorrupted(s *server, diskOff int64, deliver func(), done func(error)) {
+func (fs *FS) readCorrupted(s *server, gid int, diskOff int64, deliver func(), done func(error)) {
 	if !fs.Cfg.Checksums {
 		fs.integrity.SilentReads++
 		fs.cIntSilent.Inc()
 		deliver()
 		return
 	}
-	fs.integrity.Detected++
-	fs.cIntDetected.Inc()
-	fs.repairUnit(s, diskOff, func(err error) {
+	fs.detectAndRepair(s, gid, diskOff, fs.Cfg.StripeUnit, func(err error, _ bool) {
 		if err != nil {
 			done(err)
 			return
@@ -166,12 +164,47 @@ func (fs *FS) readCorrupted(s *server, diskOff int64, deliver func(), done func(
 	})
 }
 
-// repairUnit reconstructs the stripe unit at diskOff on s from a parity
-// neighbour (DegradedPenalty× the nominal disk cost on the neighbour's
-// queues) and rewrites it in place on the home drive, clearing the latent
-// corruption. done receives ErrCorruptData when no surviving neighbour
-// exists, ErrServerDown if a server dies mid-repair, else nil.
-func (fs *FS) repairUnit(s *server, diskOff int64, done func(error)) {
+// detectAndRepair funnels every checksum-mismatch detection of one disk
+// offset through a single repair: the first detector counts the
+// detection and launches the reconstruction; detectors arriving while it
+// is in flight (a scrub crossing a checksummed read, say) join its
+// completion instead of double-repairing and double-counting the
+// pfs.integrity.* metrics. done receives the repair outcome and whether
+// this caller initiated it (false for joiners — pass-level reports count
+// only what they initiated).
+func (fs *FS) detectAndRepair(s *server, gid int, diskOff, size int64, done func(err error, initiated bool)) {
+	if s.repairing == nil {
+		s.repairing = make(map[int64][]func(error))
+	}
+	if waiters, ok := s.repairing[diskOff]; ok {
+		s.repairing[diskOff] = append(waiters, func(err error) { done(err, false) })
+		return
+	}
+	s.repairing[diskOff] = nil
+	fs.integrity.Detected++
+	fs.cIntDetected.Inc()
+	fs.repairUnit(s, gid, diskOff, size, func(err error) {
+		waiters := s.repairing[diskOff]
+		delete(s.repairing, diskOff)
+		done(err, true)
+		for _, w := range waiters {
+			w(err)
+		}
+	})
+}
+
+// repairUnit reconstructs the unit at diskOff on s and rewrites it in
+// place on the home drive, clearing the latent corruption. Under
+// redundancy (gid >= 0) the reconstruction reads from k live members of
+// the unit's group; otherwise a parity neighbour rebuilds it at
+// DegradedPenalty× the nominal disk cost on the neighbour's queues. done
+// receives ErrCorruptData when no one survives to reconstruct from,
+// ErrServerDown if a server dies mid-repair, else nil.
+func (fs *FS) repairUnit(s *server, gid int, diskOff, size int64, done func(error)) {
+	if fs.red != nil && gid >= 0 {
+		fs.repairFromGroup(s, gid, diskOff, size, done)
+		return
+	}
 	alt := fs.survivor(s)
 	if alt == nil {
 		fs.integrity.Unrecoverable++
@@ -179,27 +212,81 @@ func (fs *FS) repairUnit(s *server, diskOff int64, done func(error)) {
 		done(ErrCorruptData)
 		return
 	}
-	unit := fs.Cfg.StripeUnit
-	svc := sim.Time(float64(alt.dsk.Access(diskOff, unit)) * fs.degradedPenalty())
+	svc := sim.Time(float64(alt.dsk.Access(diskOff, size)) * fs.degradedPenalty())
 	aepoch := alt.epoch
 	alt.dq.Submit(svc, func(sim.Time) {
 		if alt.epoch != aepoch {
 			fs.failOp(done)
 			return
 		}
-		wsvc := s.dsk.Access(diskOff, unit)
+		wsvc := s.dsk.Access(diskOff, size)
 		sepoch := s.epoch
 		s.dq.Submit(wsvc, func(sim.Time) {
 			if s.epoch != sepoch {
 				fs.failOp(done)
 				return
 			}
-			s.corr.Repair(diskOff, unit, fs.eng.Now())
+			s.corr.Repair(diskOff, size, fs.eng.Now())
 			fs.integrity.Repaired++
 			fs.cIntRepaired.Inc()
 			done(nil)
 		})
 	})
+}
+
+// repairFromGroup is repairUnit's erasure-coded path: k parallel
+// fragment reads from the unit's redundancy group, then an in-place
+// rewrite on the home drive.
+func (fs *FS) repairFromGroup(s *server, gid int, diskOff, size int64, done func(error)) {
+	red := fs.red
+	slot := -1
+	for i, idx := range red.groups[gid].members {
+		if int(idx) == s.idx {
+			slot = i
+			break
+		}
+	}
+	readers := fs.ecLiveMembers(gid, slot, red.cfg.K)
+	if len(readers) < red.cfg.K {
+		fs.integrity.Unrecoverable++
+		fs.cIntUnrecov.Inc()
+		done(ErrCorruptData)
+		return
+	}
+	failed := false
+	barrier := sim.NewBarrier(fs.eng, len(readers), func(sim.Time) {
+		if failed {
+			fs.failOp(done)
+			return
+		}
+		wsvc := s.dsk.Access(diskOff, size)
+		sepoch := s.epoch
+		s.dq.Submit(wsvc, func(sim.Time) {
+			if s.epoch != sepoch {
+				fs.failOp(done)
+				return
+			}
+			s.corr.Repair(diskOff, size, fs.eng.Now())
+			fs.integrity.Repaired++
+			fs.cIntRepaired.Inc()
+			done(nil)
+		})
+	})
+	for _, m := range readers {
+		m := m
+		roff := fs.ecExtent(m.srv, gid, m.slot)
+		svc := m.srv.dsk.Access(roff, size)
+		m.srv.bytesRead += size
+		m.srv.cOps.Inc()
+		m.srv.cBytesR.Add(size)
+		epoch := m.srv.epoch
+		m.srv.dq.Submit(svc, func(sim.Time) {
+			if m.srv.epoch != epoch {
+				failed = true
+			}
+			barrier.Arrive()
+		})
+	}
 }
 
 // ScrubReport summarizes one Scrub pass.
@@ -256,15 +343,28 @@ func (fs *FS) scrubServer(s *server, rep *ScrubReport, done func()) {
 		}
 		return keys[i].unit < keys[j].unit
 	})
-	unit := fs.Cfg.StripeUnit
 	var next func(i int)
 	next = func(i int) {
 		if i == len(keys) {
 			done()
 			return
 		}
-		diskOff := s.extent[keys[i]]
-		svc := s.dsk.Access(diskOff, unit)
+		k := keys[i]
+		diskOff := s.extent[k]
+		// Resolve the unit's redundancy group (and true size — erasure-
+		// coded fragment regions are group-unit sized) so repairs go
+		// through the right reconstruction path.
+		size := fs.Cfg.StripeUnit
+		gid := -1
+		if fs.red != nil {
+			if k.file >= 0 {
+				gid, _ = fs.red.groupOf(k.file, k.unit)
+			} else {
+				gid = -k.file - 1
+				size = fs.red.cfg.unitBytes()
+			}
+		}
+		svc := s.dsk.Access(diskOff, size)
 		epoch := s.epoch
 		s.dq.Submit(svc, func(sim.Time) {
 			if s.epoch != epoch {
@@ -275,18 +375,20 @@ func (fs *FS) scrubServer(s *server, rep *ScrubReport, done func()) {
 			rep.Units++
 			fs.integrity.ScrubbedUnits++
 			fs.cIntScrubbed.Inc()
-			if !s.corr.FaultIn(diskOff, unit, fs.eng.Now()) {
+			if !s.corr.FaultIn(diskOff, size, fs.eng.Now()) {
 				next(i + 1)
 				return
 			}
-			rep.Detected++
-			fs.integrity.Detected++
-			fs.cIntDetected.Inc()
-			fs.repairUnit(s, diskOff, func(err error) {
-				if err != nil {
-					rep.Unrecoverable++
-				} else {
-					rep.Repaired++
+			fs.detectAndRepair(s, gid, diskOff, size, func(err error, initiated bool) {
+				// A repair someone else initiated is not this pass's: the
+				// detection and outcome were already counted there.
+				if initiated {
+					rep.Detected++
+					if err != nil {
+						rep.Unrecoverable++
+					} else {
+						rep.Repaired++
+					}
 				}
 				next(i + 1)
 			})

@@ -251,7 +251,7 @@ func (fs *FS) writePiece(clientID int, st *fileState, p subOp, ot *obs.OpTimer, 
 		lockSpan = fs.Cfg.StripeUnit
 	}
 	key := stripeKey{file: st.id, unit: (p.unit*fs.Cfg.StripeUnit + p.offIn) / lockSpan}
-	srv := fs.serverFor(st, p.unit)
+	srv, gid := fs.dataServer(st, p.unit)
 	perform := func(release bool) {
 		ot.Add(obs.StageRPC, float64(fs.Cfg.RPCLatency))
 		fs.eng.Schedule(fs.Cfg.RPCLatency, func() {
@@ -277,10 +277,20 @@ func (fs *FS) writePiece(clientID int, st *fileState, p subOp, ot *obs.OpTimer, 
 						fs.failWrite(key, release, done)
 						return
 					}
-					if release {
-						fs.release(key)
+					finish := func() {
+						if release {
+							fs.release(key)
+						}
+						done(nil)
 					}
-					done(nil)
+					if gid >= 0 {
+						// Erasure-coded: the group's redundancy fragments
+						// update before the client's ack, like object-RAID
+						// parity, and the stripe lock covers the update.
+						fs.writeRedundant(gid, p, ot, finish)
+						return
+					}
+					finish()
 				})
 			})
 		})
@@ -412,10 +422,9 @@ func (c *Client) ReadOp(f *File, off, size int64, ot *obs.OpTimer, done func(err
 	}
 	for _, p := range pieces {
 		p := p
-		srv := fs.serverFor(f.st, p.unit)
 		ot.Add(obs.StageRPC, float64(fs.Cfg.RPCLatency))
 		fs.eng.Schedule(fs.Cfg.RPCLatency, func() {
-			fs.readPiece(srv, f.st, p, ot, func(err error) {
+			fs.readPiece(f.st, p, ot, func(err error) {
 				if err != nil {
 					arrive(err)
 					return
@@ -433,11 +442,16 @@ func (c *Client) ReadOp(f *File, off, size int64, ot *obs.OpTimer, done func(err
 }
 
 // readPiece routes one read piece: to the home server when healthy (at
-// penalty cost while it rebuilds), to a surviving neighbour's parity
-// reconstruction when it is down, or to a timeout error when the whole
-// array is gone.
-func (fs *FS) readPiece(srv *server, st *fileState, p subOp, ot *obs.OpTimer, done func(error)) {
+// penalty cost while it rebuilds), to redundancy reconstruction when it
+// is down — k-survivor decode under erasure coding, a neighbour's parity
+// otherwise — or to a timeout error when nothing can serve it.
+func (fs *FS) readPiece(st *fileState, p subOp, ot *obs.OpTimer, done func(error)) {
+	srv, gid := fs.dataServer(st, p.unit)
 	if srv.down {
+		if gid >= 0 {
+			fs.readReconstruct(gid, srv, p, ot, done)
+			return
+		}
 		alt := fs.survivor(srv)
 		if alt == nil {
 			fs.failOp(done)
@@ -451,16 +465,18 @@ func (fs *FS) readPiece(srv *server, st *fileState, p subOp, ot *obs.OpTimer, do
 	if srv.rebuildUntil > fs.eng.Now() {
 		fs.faults.DegradedReads++
 		fs.cDegraded.Inc()
-		srv.read(fs, st, p, fs.degradedPenalty(), ot, done)
+		srv.read(fs, st, p, fs.degradedPenalty(), gid, ot, done)
 		return
 	}
-	srv.read(fs, st, p, 1, ot, done)
+	srv.read(fs, st, p, 1, gid, ot, done)
 }
 
 // read serves one piece from the server's own disk; penalty > 1 models
-// parity reconstruction during the post-recovery rebuild window. done
-// receives a non-nil error when the server crashes mid-operation.
-func (s *server) read(fs *FS, st *fileState, p subOp, penalty float64, ot *obs.OpTimer, done func(error)) {
+// parity reconstruction during the post-recovery rebuild window, and gid
+// (-1 without redundancy) routes checksum repairs through the piece's
+// redundancy group. done receives a non-nil error when the server
+// crashes mid-operation.
+func (s *server) read(fs *FS, st *fileState, p subOp, penalty float64, gid int, ot *obs.OpTimer, done func(error)) {
 	key := stripeKey{file: st.id, unit: p.unit}
 	diskOff, ok := s.extent[key]
 	if !ok {
@@ -510,7 +526,7 @@ func (s *server) read(fs *FS, st *fileState, p subOp, penalty float64, ot *obs.O
 		// The bytes are off the platter: this is where a checksum (or the
 		// lack of one) decides whether latent corruption is caught.
 		if s.corr.FaultIn(diskOff+p.offIn, p.size, fs.eng.Now()) {
-			fs.readCorrupted(s, diskOff, deliver, done)
+			fs.readCorrupted(s, gid, diskOff, deliver, done)
 			return
 		}
 		deliver()

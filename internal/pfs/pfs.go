@@ -15,11 +15,18 @@
 // Servers can also fail: InjectFaults arms a sim.FaultPlan so object
 // storage servers crash and recover mid-run. A down server times out
 // in-flight and new operations (ErrServerDown after FailTimeout), holds
-// its stripe locks until the LeaseExpiry lease lapses, and — because the
-// stripes are parity-protected — keeps data readable through neighbors at
-// a DegradedPenalty reconstruction cost until the RebuildTime window after
-// recovery has drained. With no plan injected the fault machinery is
-// inert and the event trajectory is byte-identical to a build without it.
+// its stripe locks until the LeaseExpiry lease lapses, and keeps its data
+// readable through redundancy. By default that redundancy is the legacy
+// single-parity model — a surviving neighbour reconstructs reads at a
+// DegradedPenalty cost until the RebuildTime window after recovery drains.
+// With Config.Redundancy set it generalizes to k+m erasure-coded groups
+// with declustered placement (see redundancy.go): degraded reads
+// reconstruct from any k surviving group members at cost proportional to
+// the group width, a crash fans real rebuild traffic out across the
+// population's disk queues, and overlapping failures beyond m surface as
+// typed, counted data-loss events (ErrDataLoss, pfs.loss.*) rather than
+// silent reads. With no plan injected the fault machinery is inert and
+// the event trajectory is byte-identical to a build without it.
 package pfs
 
 import (
@@ -124,6 +131,12 @@ type Config struct {
 	// pfs.integrity.silent_reads counter is the only witness). With no
 	// corruption injected the flag changes nothing.
 	Checksums bool
+
+	// Redundancy generalizes the failure model from the implicit single-
+	// parity neighbour to k+m erasure-coded redundancy groups with
+	// declustered placement and real rebuild traffic (see the Redundancy
+	// type). The zero value keeps the legacy model, byte-identically.
+	Redundancy Redundancy
 }
 
 // Validate reports a descriptive error for an unusable configuration.
@@ -137,6 +150,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pfs: non-positive network bandwidth")
 	case c.DisksPerServer < 1:
 		return fmt.Errorf("pfs: DisksPerServer %d < 1", c.DisksPerServer)
+	}
+	if c.Redundancy.Enabled() {
+		if err := c.Redundancy.Validate(); err != nil {
+			return err
+		}
+		if c.NumServers < c.Redundancy.Width()+1 {
+			return fmt.Errorf("pfs: %d servers cannot host %d+%d groups plus a rebuild spare",
+				c.NumServers, c.Redundancy.K, c.Redundancy.M)
+		}
 	}
 	return nil
 }
@@ -237,6 +259,12 @@ type server struct {
 	// common case) means the drive never lies.
 	corr *disk.Corruptor
 
+	// repairing deduplicates concurrent repairs of one rotten unit: a
+	// scrub and a checksummed read that detect the same disk offset share
+	// a single reconstruction instead of double-repairing (nil until the
+	// first repair).
+	repairing map[int64][]func(error)
+
 	bytesWritten int64
 	bytesRead    int64
 
@@ -272,6 +300,10 @@ type FS struct {
 
 	// Integrity accounting (see integrity.go).
 	integrity IntegrityStats
+
+	// red is the k+m redundancy layer (see redundancy.go); nil with the
+	// zero Redundancy config, leaving the legacy parity-neighbour model.
+	red *redState
 
 	// File-system-wide instrument handles (nil when uninstrumented).
 	cMeta      *obs.Counter
@@ -345,6 +377,9 @@ func New(eng *sim.Engine, cfg Config) *FS {
 			extent: make(map[stripeKey]int64),
 		})
 	}
+	if cfg.Redundancy.Enabled() {
+		fs.red = newRedState(cfg)
+	}
 	fs.instrument()
 	return fs
 }
@@ -395,6 +430,9 @@ func (fs *FS) instrument() {
 	}
 	fs.otWrite = reg.OpTimerSet(fs.metric("pfs.write"))
 	fs.otRead = reg.OpTimerSet(fs.metric("pfs.read"))
+	if fs.red != nil {
+		fs.armRedundancy(reg)
+	}
 	if w := reg.SeriesWindow(); w > 0 {
 		fs.armSeries(reg, w)
 	}

@@ -1,0 +1,770 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/sim"
+)
+
+// This file generalizes the failure model from a single parity neighbour
+// to k+m Reed-Solomon-style redundancy groups with declustered placement
+// — the layer the report's petascale reliability argument turns on. The
+// population is carved into redundancy groups of width k+m whose members
+// a placement.Declustered window hash spreads over the cluster, so every
+// drive's rebuild partners fan out across (a configurable fraction of)
+// the whole population. A crash starts a real rebuild: every group the
+// dead drive belonged to re-creates its share onto a spare by reading
+// chunks from k surviving members — ordinary disk-queue traffic that
+// competes with foreground checkpoints and reads, which is where
+// rebuild-storm interference comes from. Degraded reads reconstruct from
+// any k survivors at a cost proportional to the group width, and the
+// (m+1)-th overlapping failure inside a group is a counted, typed data-
+// loss event (ErrDataLoss, pfs.loss.*) — never a silent read, never a
+// panic. With the zero Redundancy value none of this exists and every
+// event trajectory is byte-identical to the parity-neighbour model.
+
+// ErrDataLoss is returned by ReadErr completions when more than m
+// members of the piece's redundancy group are concurrently failed —
+// fewer than k survivors remain, so nothing can reconstruct the data.
+var ErrDataLoss = errors.New("pfs: data loss: redundancy group lost more than m members")
+
+// Redundancy configures k+m erasure-coded redundancy groups with
+// declustered placement. The zero value disables the layer entirely,
+// keeping the legacy single-parity-neighbour model and its exact event
+// trajectories.
+type Redundancy struct {
+	// K is the number of data fragments per group; M the number of
+	// redundancy fragments. A group survives any M concurrent member
+	// failures and reconstructs reads from any K survivors.
+	K, M int
+
+	// Declustering is the fraction of the population over which one
+	// group's members (and therefore one drive's rebuild partners)
+	// spread, in (0, 1]; zero defaults to 1.0 — fully declustered,
+	// every server a potential partner. Small values confine groups to
+	// narrow windows, approaching traditional RAID sets.
+	Declustering float64
+
+	// GroupsPerServer is how many redundancy groups each server
+	// participates in (default 4). More groups spread a dead drive's
+	// rebuild over more partners but widen its failure exposure.
+	GroupsPerServer int
+
+	// UnitBytes is each member's share of one group — the bytes a
+	// rebuild must re-create per group (default 8 MiB).
+	UnitBytes int64
+
+	// ChunkBytes is the rebuild I/O granularity: each chunk is k
+	// parallel partner reads plus one spare write (default 2 MiB).
+	ChunkBytes int64
+
+	// Throttle is the fraction of its partners' disk time a rebuild may
+	// consume, in (0, 1]; default 1 (rebuild at full speed). Lower
+	// values idle the rebuild between chunks, trading longer rebuild
+	// windows for less foreground interference.
+	Throttle float64
+}
+
+// Enabled reports whether the redundancy layer is active.
+func (r Redundancy) Enabled() bool { return r.K > 0 || r.M > 0 }
+
+// Width is the group size k+m.
+func (r Redundancy) Width() int { return r.K + r.M }
+
+// Validate reports a descriptive error for an unusable configuration.
+func (r Redundancy) Validate() error {
+	switch {
+	case r.K < 1 || r.M < 1:
+		return fmt.Errorf("pfs: redundancy needs K >= 1 and M >= 1, got %d+%d", r.K, r.M)
+	case r.Declustering < 0 || r.Declustering > 1:
+		return fmt.Errorf("pfs: declustering ratio %v outside (0, 1]", r.Declustering)
+	case r.GroupsPerServer < 0:
+		return fmt.Errorf("pfs: GroupsPerServer %d < 0", r.GroupsPerServer)
+	case r.UnitBytes < 0 || r.ChunkBytes < 0:
+		return fmt.Errorf("pfs: negative rebuild sizes")
+	case r.Throttle < 0 || r.Throttle > 1:
+		return fmt.Errorf("pfs: rebuild throttle %v outside (0, 1]", r.Throttle)
+	}
+	return nil
+}
+
+func (r Redundancy) groupsPerServer() int {
+	if r.GroupsPerServer > 0 {
+		return r.GroupsPerServer
+	}
+	return 4
+}
+
+func (r Redundancy) unitBytes() int64 {
+	if r.UnitBytes > 0 {
+		return r.UnitBytes
+	}
+	return 8 << 20
+}
+
+func (r Redundancy) chunkBytes() int64 {
+	if r.ChunkBytes > 0 {
+		return r.ChunkBytes
+	}
+	return 2 << 20
+}
+
+func (r Redundancy) ratio() float64 {
+	if r.Declustering > 0 {
+		return r.Declustering
+	}
+	return 1
+}
+
+func (r Redundancy) throttle() float64 {
+	if r.Throttle > 0 {
+		return r.Throttle
+	}
+	return 1
+}
+
+// RebuildStats aggregates the declustered-rebuild activity over a run.
+type RebuildStats struct {
+	// Started counts rebuilds launched (one per applied crash);
+	// Completed counts rebuilds that re-created every group; Aborted
+	// counts rebuilds cancelled because the server recovered first.
+	Started, Completed, Aborted int64
+
+	// GroupsRebuilt counts groups whose share was fully re-created onto
+	// a spare; AbandonedGroups counts groups a rebuild had to give up on
+	// (fewer than k live members, or no spare).
+	GroupsRebuilt, AbandonedGroups int64
+
+	// Bytes is the reconstructed data written to spares.
+	Bytes int64
+
+	// Busy sums completed rebuild durations; MaxDuration is the longest.
+	Busy, MaxDuration sim.Time
+}
+
+// LossStats aggregates data-loss accounting over a run.
+type LossStats struct {
+	// Events counts transitions of any group beyond m concurrent
+	// failures (each overlapping (m+1)-th crash is one event).
+	Events int64
+
+	// Groups counts distinct groups that ever exceeded m concurrent
+	// failures; Bytes is their data payload (k * UnitBytes each).
+	Groups int64
+	Bytes  int64
+
+	// Reads counts client reads that failed with ErrDataLoss.
+	Reads int64
+}
+
+// ecGroup is one k+m redundancy group. members holds server indices,
+// data slots first ([0,K)), redundancy slots after ([K,K+M)). failed
+// counts members currently crashed and not yet rebuilt or recovered.
+type ecGroup struct {
+	members []int32
+	failed  int
+	lost    bool // ever exceeded m concurrent failures
+}
+
+func (g *ecGroup) has(idx int32) bool {
+	for _, m := range g.members {
+		if m == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// ecIncident tracks one crashed server's rebuild: the groups still open
+// (not yet rebuilt), and whether a recovery cancelled the job.
+type ecIncident struct {
+	server    int
+	start     sim.Time
+	gids      []int32 // affected groups, in deterministic order
+	open      map[int32]bool
+	pending   int // rebuild chains still running
+	cancelled bool
+}
+
+// redState is the redundancy layer's runtime state.
+type redState struct {
+	cfg       Redundancy
+	groups    []ecGroup
+	byServer  [][]int32 // server index -> groups it belongs to
+	incidents map[int]*ecIncident
+
+	stats RebuildStats
+	loss  LossStats
+
+	// Instrument handles (nil when uninstrumented).
+	cRebStarted   *obs.Counter
+	cRebCompleted *obs.Counter
+	cRebAborted   *obs.Counter
+	cRebGroups    *obs.Counter
+	cRebBytes     *obs.Counter
+	cLossEvents   *obs.Counter
+	cLossGroups   *obs.Counter
+	cLossBytes    *obs.Counter
+	cLossReads    *obs.Counter
+}
+
+// newRedState builds the population-scale group map: G = servers *
+// GroupsPerServer / width groups, each placed by the declustered window
+// hash. Construction is pure (no events), so it cannot perturb the sim.
+func newRedState(cfg Config) *redState {
+	r := cfg.Redundancy
+	width := r.Width()
+	groups := cfg.NumServers * r.groupsPerServer() / width
+	if groups < 1 {
+		groups = 1
+	}
+	strat := placement.Declustered{Ratio: r.ratio()}
+	red := &redState{
+		cfg:       r,
+		groups:    make([]ecGroup, groups),
+		byServer:  make([][]int32, cfg.NumServers),
+		incidents: make(map[int]*ecIncident),
+	}
+	for g := 0; g < groups; g++ {
+		members := strat.Place(placement.Chunk{File: 0x5245445f, Index: int64(g)}, cfg.NumServers, width)
+		ms := make([]int32, len(members))
+		for i, m := range members {
+			ms[i] = int32(m)
+			red.byServer[m] = append(red.byServer[m], int32(g))
+		}
+		red.groups[g].members = ms
+	}
+	return red
+}
+
+// armRedundancy registers the pfs.rebuild.* and pfs.loss.* instruments.
+// Called from instrument() only when the layer is enabled, so legacy
+// configurations register exactly the pre-redundancy metric set.
+func (fs *FS) armRedundancy(reg *obs.Registry) {
+	red := fs.red
+	red.cRebStarted = reg.Counter(fs.metric("pfs.rebuild.started"))
+	red.cRebCompleted = reg.Counter(fs.metric("pfs.rebuild.completed"))
+	red.cRebAborted = reg.Counter(fs.metric("pfs.rebuild.aborted"))
+	red.cRebGroups = reg.Counter(fs.metric("pfs.rebuild.groups_rebuilt"))
+	red.cRebBytes = reg.Counter(fs.metric("pfs.rebuild.bytes"))
+	red.cLossEvents = reg.Counter(fs.metric("pfs.loss.events"))
+	red.cLossGroups = reg.Counter(fs.metric("pfs.loss.groups"))
+	red.cLossBytes = reg.Counter(fs.metric("pfs.loss.bytes"))
+	red.cLossReads = reg.Counter(fs.metric("pfs.loss.reads"))
+	reg.GaugeFunc(fs.metric("pfs.rebuild.busy_s"), func() float64 { return float64(red.stats.Busy) })
+}
+
+// RebuildStats returns a copy of the rebuild accounting so far (zero
+// without redundancy).
+func (fs *FS) RebuildStats() RebuildStats {
+	if fs.red == nil {
+		return RebuildStats{}
+	}
+	return fs.red.stats
+}
+
+// LossStats returns a copy of the data-loss accounting so far (zero
+// without redundancy).
+func (fs *FS) LossStats() LossStats {
+	if fs.red == nil {
+		return LossStats{}
+	}
+	return fs.red.loss
+}
+
+// RedundancyGroups reports the number of redundancy groups (0 without
+// redundancy).
+func (fs *FS) RedundancyGroups() int {
+	if fs.red == nil {
+		return 0
+	}
+	return len(fs.red.groups)
+}
+
+// groupOf maps a file's stripe unit into its redundancy group: a hash of
+// (file, unit/k) picks the group, unit%k the data slot — k consecutive
+// units of a file share a group, their redundancy fragments live on the
+// group's m trailing members.
+func (red *redState) groupOf(fileID int, unit int64) (gid, slot int) {
+	k := int64(red.cfg.K)
+	gid = int(placement.Mix64(uint64(fileID+1)*0x9e3779b97f4a7c15^uint64(unit/k)) % uint64(len(red.groups)))
+	slot = int(unit % k)
+	return gid, slot
+}
+
+// dataServer resolves the server storing a file's stripe unit and its
+// redundancy group (-1 without redundancy, where placement stays the
+// legacy rotation). With redundancy the group map is authoritative, so a
+// rebuilt slot's traffic follows the member replacement to the spare.
+func (fs *FS) dataServer(st *fileState, unit int64) (*server, int) {
+	if fs.red == nil {
+		return fs.serverFor(st, unit), -1
+	}
+	gid, slot := fs.red.groupOf(st.id, unit)
+	return fs.servers[fs.red.groups[gid].members[slot]], gid
+}
+
+// ecFileID is the synthetic extent-map file id for group gid's
+// redundancy-layer extents (negative, so it never collides with a real
+// file id).
+func ecFileID(gid int) int { return -(gid + 1) }
+
+// ecExtent returns (allocating on first use) the disk offset of server
+// s's share of group gid — the UnitBytes region its fragment for that
+// slot occupies. Both the redundancy-fragment write path and the rebuild
+// read/write paths address group data through it.
+func (fs *FS) ecExtent(s *server, gid, slot int) int64 {
+	key := stripeKey{file: ecFileID(gid), unit: int64(slot)}
+	off, ok := s.extent[key]
+	if !ok {
+		off = s.next
+		s.next += fs.red.cfg.unitBytes()
+		s.extent[key] = off
+	}
+	return off
+}
+
+// ecPosIn maps a piece to an offset inside a group-unit region.
+func (fs *FS) ecPosIn(p subOp) int64 {
+	return (p.unit*fs.Cfg.StripeUnit + p.offIn) % fs.red.cfg.unitBytes()
+}
+
+// liveMember pairs a group member with its slot for extent addressing.
+type liveMember struct {
+	srv  *server
+	slot int
+}
+
+// ecLiveMembers returns up to want live members of gid, excluding the
+// slot being reconstructed, in member order — the "any k survivors" a
+// reconstruction reads from.
+func (fs *FS) ecLiveMembers(gid, exclude, want int) []liveMember {
+	g := &fs.red.groups[gid]
+	out := make([]liveMember, 0, want)
+	for slot, idx := range g.members {
+		if slot == exclude {
+			continue
+		}
+		s := fs.servers[idx]
+		if s.down {
+			continue
+		}
+		out = append(out, liveMember{srv: s, slot: slot})
+		if len(out) == want {
+			break
+		}
+	}
+	return out
+}
+
+// writeRedundant fans a data piece's redundancy updates to the group's
+// live m fragment holders: each pays a fragment-sized disk write on its
+// own queues before the client's write acknowledges — the erasure-coding
+// write amplification. Crashed fragment holders are skipped; the group's
+// failed count already accounts for their staleness.
+func (fs *FS) writeRedundant(gid int, p subOp, ot *obs.OpTimer, done func()) {
+	red := fs.red
+	g := &red.groups[gid]
+	var frag []liveMember
+	for slot := red.cfg.K; slot < len(g.members); slot++ {
+		s := fs.servers[g.members[slot]]
+		if !s.down {
+			frag = append(frag, liveMember{srv: s, slot: slot})
+		}
+	}
+	if len(frag) == 0 {
+		done()
+		return
+	}
+	barrier := sim.NewBarrier(fs.eng, len(frag), func(sim.Time) { done() })
+	posIn := fs.ecPosIn(p)
+	for _, m := range frag {
+		m := m
+		off := fs.ecExtent(m.srv, gid, m.slot)
+		svc, det := m.srv.dsk.AccessTimed(off+posIn, p.size)
+		ot.Add(obs.StageDiskSeek, det.SeekSec)
+		ot.Add(obs.StageDiskRotation, det.RotationSec)
+		ot.Add(obs.StageDiskTransfer, det.TransferSec)
+		m.srv.bytesWritten += p.size
+		m.srv.cOps.Inc()
+		m.srv.cBytesW.Add(p.size)
+		enq := fs.eng.Now()
+		m.srv.dq.Submit(svc, func(at sim.Time) {
+			ot.Add(obs.StageQueue, float64(at-enq-svc))
+			barrier.Arrive()
+		})
+	}
+}
+
+// readReconstruct serves a piece whose home member is down by reading
+// from any k live members of its group in parallel — k fragment-sized
+// disk reads, so the degraded cost is proportional to the group width —
+// and shipping the decoded data from the first survivor's NIC.
+func (fs *FS) readReconstruct(gid int, home *server, p subOp, ot *obs.OpTimer, done func(error)) {
+	red := fs.red
+	g := &red.groups[gid]
+	if g.failed > red.cfg.M {
+		fs.lossRead(done)
+		return
+	}
+	homeSlot := -1
+	for slot, idx := range g.members {
+		if int(idx) == home.idx {
+			homeSlot = slot
+			break
+		}
+	}
+	readers := fs.ecLiveMembers(gid, homeSlot, red.cfg.K)
+	if len(readers) < red.cfg.K {
+		fs.failOp(done)
+		return
+	}
+	fs.faults.DegradedReads++
+	fs.cDegraded.Inc()
+	posIn := fs.ecPosIn(p)
+	var total, base sim.Time
+	failed := false
+	barrier := sim.NewBarrier(fs.eng, len(readers), func(sim.Time) {
+		if failed {
+			fs.failOp(done)
+			return
+		}
+		first := readers[0].srv
+		xfer := sim.Time(float64(p.size) / fs.Cfg.ServerNetBW)
+		enq := fs.eng.Now()
+		first.nic.Submit(xfer, func(at sim.Time) {
+			ot.Add(obs.StageNet, float64(xfer))
+			ot.Add(obs.StageQueue, float64(at-enq-xfer))
+			done(nil)
+		})
+	})
+	for i, m := range readers {
+		m := m
+		off := fs.ecExtent(m.srv, gid, m.slot)
+		svc, det := m.srv.dsk.AccessTimed(off+posIn, p.size)
+		ot.Add(obs.StageDiskSeek, det.SeekSec)
+		ot.Add(obs.StageDiskRotation, det.RotationSec)
+		ot.Add(obs.StageDiskTransfer, det.TransferSec)
+		total += svc
+		if i == 0 {
+			base = svc
+		}
+		m.srv.bytesRead += p.size
+		m.srv.cOps.Inc()
+		m.srv.cBytesR.Add(p.size)
+		epoch := m.srv.epoch
+		enq := fs.eng.Now()
+		m.srv.dq.Submit(svc, func(at sim.Time) {
+			ot.Add(obs.StageQueue, float64(at-enq-svc))
+			if m.srv.epoch != epoch {
+				failed = true
+			}
+			barrier.Arrive()
+		})
+	}
+	// The reads beyond one nominal fragment are the reconstruction cost.
+	ot.Add(obs.StageDegraded, float64(total-base))
+}
+
+// lossRead fails a read of a group with more than m concurrent failures:
+// a counted, typed data-loss event delivered after the RPC timeout —
+// never a silent read, never a panic.
+func (fs *FS) lossRead(done func(error)) {
+	fs.red.loss.Reads++
+	fs.red.cLossReads.Inc()
+	fs.eng.Schedule(fs.failTimeout(), func() { done(ErrDataLoss) })
+}
+
+// ecOnCrash is the redundancy layer's CrashTarget hook: bump every
+// affected group's failed count (counting loss events past m), then fan
+// the rebuild out — one chain per group, all running concurrently
+// against the surviving partners' disk queues.
+func (fs *FS) ecOnCrash(srv *server) {
+	red := fs.red
+	gids := append([]int32(nil), red.byServer[srv.idx]...)
+	inc := &ecIncident{
+		server:  srv.idx,
+		start:   fs.eng.Now(),
+		gids:    gids,
+		open:    make(map[int32]bool, len(gids)),
+		pending: len(gids),
+	}
+	red.incidents[srv.idx] = inc
+	for _, gid := range gids {
+		g := &red.groups[gid]
+		g.failed++
+		if g.failed > red.cfg.M {
+			red.loss.Events++
+			red.cLossEvents.Inc()
+			if !g.lost {
+				g.lost = true
+				red.loss.Groups++
+				red.cLossGroups.Inc()
+				lost := int64(red.cfg.K) * red.cfg.unitBytes()
+				red.loss.Bytes += lost
+				red.cLossBytes.Add(lost)
+			}
+		}
+		inc.open[gid] = true
+	}
+	red.stats.Started++
+	red.cRebStarted.Inc()
+	if inc.pending == 0 {
+		fs.ecRebuildFinished(inc)
+		return
+	}
+	for _, gid := range gids {
+		gid := gid
+		fs.rebuildGroup(inc, int(gid), func(completed bool) { fs.ecGroupDone(inc, gid, completed) })
+	}
+}
+
+// ecOnRecover is the redundancy layer's RecoverTarget hook: the server's
+// data is back, so groups not yet rebuilt regain their member and the
+// remaining rebuild chains stand down at their next chunk boundary.
+// Groups already re-created on spares keep the spare — the recovered
+// drive simply no longer serves them.
+func (fs *FS) ecOnRecover(srv *server) {
+	red := fs.red
+	inc := red.incidents[srv.idx]
+	if inc == nil || inc.cancelled {
+		return
+	}
+	inc.cancelled = true
+	for _, gid := range inc.gids {
+		if inc.open[gid] {
+			delete(inc.open, gid)
+			red.groups[gid].failed--
+		}
+	}
+}
+
+// ecGroupDone closes one group's rebuild chain.
+func (fs *FS) ecGroupDone(inc *ecIncident, gid int32, completed bool) {
+	red := fs.red
+	if inc.open[gid] {
+		delete(inc.open, gid)
+		if completed {
+			red.groups[gid].failed--
+			red.stats.GroupsRebuilt++
+			red.cRebGroups.Inc()
+		} else {
+			red.stats.AbandonedGroups++
+		}
+	}
+	inc.pending--
+	if inc.pending == 0 {
+		fs.ecRebuildFinished(inc)
+	}
+}
+
+// ecRebuildFinished retires an incident once every chain has drained.
+func (fs *FS) ecRebuildFinished(inc *ecIncident) {
+	red := fs.red
+	if red.incidents[inc.server] == inc {
+		// A crash→recover→crash sequence may have installed a newer
+		// incident for this server; only this one's record is retired.
+		delete(red.incidents, inc.server)
+	}
+	if inc.cancelled {
+		red.stats.Aborted++
+		red.cRebAborted.Inc()
+		return
+	}
+	dur := fs.eng.Now() - inc.start
+	red.stats.Completed++
+	red.stats.Busy += dur
+	if dur > red.stats.MaxDuration {
+		red.stats.MaxDuration = dur
+	}
+	red.cRebCompleted.Inc()
+}
+
+// ecPickSpare walks the ring from the dead server for a live server
+// outside the group — the distributed spare the group's share is
+// re-created on.
+func (fs *FS) ecPickSpare(gid, deadIdx int) *server {
+	g := &fs.red.groups[gid]
+	n := len(fs.servers)
+	for i := 1; i < n; i++ {
+		s := fs.servers[(deadIdx+i)%n]
+		if !s.down && !g.has(int32(s.idx)) {
+			return s
+		}
+	}
+	return nil
+}
+
+// rebuildGroup re-creates one group's dead share chunk by chunk: each
+// chunk is k parallel partner reads (one fragment each, on the partners'
+// own disk queues, competing with whatever else those spindles are
+// doing) followed by one reconstruction write on the spare. A partner or
+// spare death retries the chunk against re-picked survivors; dropping
+// below k live members, running out of spares, or a cancellation
+// abandons the chain. On completion the spare replaces the dead member
+// in the group map and inherits its extents.
+func (fs *FS) rebuildGroup(inc *ecIncident, gid int, done func(completed bool)) {
+	red := fs.red
+	g := &red.groups[gid]
+	slot := -1
+	for i, idx := range g.members {
+		if int(idx) == inc.server {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		fs.eng.Schedule(0, func() { done(false) })
+		return
+	}
+	total := red.cfg.unitBytes()
+	chunkBytes := red.cfg.chunkBytes()
+	var spare *server
+	var step func(off int64)
+	step = func(off int64) {
+		if inc.cancelled {
+			done(false)
+			return
+		}
+		if off >= total {
+			fs.ecReplaceMember(gid, slot, spare)
+			done(true)
+			return
+		}
+		if g.failed > red.cfg.M {
+			// Beyond m concurrent failures nothing can be reconstructed.
+			done(false)
+			return
+		}
+		if spare == nil || spare.down {
+			spare = fs.ecPickSpare(gid, inc.server)
+			if spare == nil {
+				done(false)
+				return
+			}
+			off = 0 // a fresh spare restarts the share
+		}
+		readers := fs.ecLiveMembers(gid, slot, red.cfg.K)
+		if len(readers) < red.cfg.K {
+			done(false)
+			return
+		}
+		n := chunkBytes
+		if off+n > total {
+			n = total - off
+		}
+		t0 := fs.eng.Now()
+		failed := false
+		target := spare
+		barrier := sim.NewBarrier(fs.eng, len(readers), func(sim.Time) {
+			if inc.cancelled {
+				done(false)
+				return
+			}
+			if failed {
+				step(off) // re-pick readers and retry the chunk
+				return
+			}
+			woff := fs.ecExtent(target, gid, slot)
+			svc, _ := target.dsk.AccessTimed(woff+off, n)
+			target.bytesWritten += n
+			target.cOps.Inc()
+			target.cBytesW.Add(n)
+			epoch := target.epoch
+			target.dq.Submit(svc, func(sim.Time) {
+				if target.epoch != epoch {
+					step(off) // the spare died: step re-picks and restarts
+					return
+				}
+				red.stats.Bytes += n
+				red.cRebBytes.Add(n)
+				if th := red.cfg.throttle(); th < 1 {
+					// Idle between chunks so foreground traffic keeps
+					// (1 - throttle) of the spindles.
+					idle := sim.Time(float64(fs.eng.Now()-t0) * (1 - th) / th)
+					fs.eng.Schedule(idle, func() { step(off + n) })
+					return
+				}
+				step(off + n)
+			})
+		})
+		for _, m := range readers {
+			m := m
+			roff := fs.ecExtent(m.srv, gid, m.slot)
+			svc, _ := m.srv.dsk.AccessTimed(roff+off, n)
+			m.srv.bytesRead += n
+			m.srv.cOps.Inc()
+			m.srv.cBytesR.Add(n)
+			epoch := m.srv.epoch
+			m.srv.dq.Submit(svc, func(sim.Time) {
+				if m.srv.epoch != epoch {
+					failed = true
+				}
+				barrier.Arrive()
+			})
+		}
+	}
+	step(0)
+}
+
+// ecReplaceMember installs the spare as the group's member for slot and
+// migrates the dead server's extents for that (group, slot) to it: the
+// re-created data lives on the spare now, so post-rebuild traffic costs
+// real disk work there instead of hole-reads.
+func (fs *FS) ecReplaceMember(gid, slot int, spare *server) {
+	red := fs.red
+	g := &red.groups[gid]
+	oldIdx := int(g.members[slot])
+	g.members[slot] = int32(spare.idx)
+	list := red.byServer[oldIdx]
+	for i, id := range list {
+		if int(id) == gid {
+			red.byServer[oldIdx] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	red.byServer[spare.idx] = append(red.byServer[spare.idx], int32(gid))
+	fs.ecMigrateExtents(fs.servers[oldIdx], spare, gid, slot)
+}
+
+// ecMigrateExtents moves the (group, slot) extents — the group-unit
+// region plus every file stripe unit mapped to that slot — from the dead
+// server's extent map to the spare, allocating fresh regions there.
+// Extent keys are collected and sorted before allocation so the spare's
+// layout is deterministic regardless of map iteration order.
+func (fs *FS) ecMigrateExtents(old, spare *server, gid, slot int) {
+	red := fs.red
+	var keys []stripeKey
+	for k := range old.extent {
+		if k.file >= 0 {
+			kgid, kslot := red.groupOf(k.file, k.unit)
+			if kgid == gid && kslot == slot {
+				keys = append(keys, k)
+			}
+		} else if k.file == ecFileID(gid) && int(k.unit) == slot {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].unit < keys[j].unit
+	})
+	for _, k := range keys {
+		delete(old.extent, k)
+		if _, ok := spare.extent[k]; ok {
+			continue
+		}
+		size := fs.Cfg.StripeUnit
+		if k.file < 0 {
+			size = red.cfg.unitBytes()
+		}
+		spare.extent[k] = spare.next
+		spare.next += size
+	}
+}

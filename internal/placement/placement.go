@@ -36,8 +36,14 @@ type RoundRobin struct{}
 // Name identifies the strategy.
 func (RoundRobin) Name() string { return "round-robin" }
 
-// Place implements Strategy.
+// Place implements Strategy. Replicas land on consecutive distinct
+// servers; a replication factor beyond the population is clamped to n
+// (matching CRUSHLike), so no chunk ever stores two replicas on one
+// server.
 func (RoundRobin) Place(c Chunk, n, replicas int) []int {
+	if replicas > n {
+		replicas = n
+	}
 	out := make([]int, replicas)
 	for r := 0; r < replicas; r++ {
 		out[r] = int((c.Index + int64(r)) % int64(n))
@@ -52,8 +58,12 @@ type FileOffsetStripe struct{}
 // Name identifies the strategy.
 func (FileOffsetStripe) Name() string { return "file-offset-stripe" }
 
-// Place implements Strategy.
+// Place implements Strategy. Like RoundRobin, the replication factor is
+// clamped to n so replicas are always distinct.
 func (FileOffsetStripe) Place(c Chunk, n, replicas int) []int {
+	if replicas > n {
+		replicas = n
+	}
 	start := int(mix(c.File) % uint64(n))
 	out := make([]int, replicas)
 	for r := 0; r < replicas; r++ {
@@ -108,6 +118,79 @@ func (CRUSHLike) Place(c Chunk, n, replicas int) []int {
 	return out
 }
 
+// Declustered places each redundancy group on a pseudo-random window of
+// the population: a hash of (file, index) picks the window start, and
+// rendezvous hashing selects the group's members inside it. Ratio is the
+// fraction of the population one window spans — at 1.0 every server is a
+// potential rebuild partner of every other (full declustering, the
+// CRUSH-style limit); small ratios confine a drive's partners to a
+// narrow neighbourhood, approaching traditional RAID groups. The window
+// is never smaller than the group itself, so members are always
+// distinct. Unlike CRUSHLike this strategy scores with an inline
+// splitmix64-style mixer instead of an allocating fnv hash, because
+// internal/pfs builds population-scale group maps (10^4–10^5 drives)
+// through it.
+type Declustered struct {
+	// Ratio is the window span as a fraction of the population, in
+	// (0, 1]; zero defaults to 1.0 (fully declustered).
+	Ratio float64
+}
+
+// Name identifies the strategy.
+func (d Declustered) Name() string { return "declustered" }
+
+// Place implements Strategy.
+func (d Declustered) Place(c Chunk, n, replicas int) []int {
+	if replicas > n {
+		replicas = n
+	}
+	ratio := d.Ratio
+	if ratio <= 0 || ratio > 1 {
+		ratio = 1
+	}
+	w := int(ratio*float64(n) + 0.5)
+	if w < replicas {
+		w = replicas
+	}
+	if w > n {
+		w = n
+	}
+	start := int(mix64(c.File*0x9e3779b97f4a7c15^uint64(c.Index)) % uint64(n))
+	type cand struct {
+		server int
+		weight uint64
+	}
+	// Rendezvous hashing inside the window: score every member of the
+	// window, take the top `replicas` — stable under population growth
+	// like CRUSHLike, but over the declustering window only.
+	best := make([]cand, 0, replicas)
+	for i := 0; i < w; i++ {
+		s := (start + i) % n
+		weight := mix64(c.File ^ uint64(c.Index)<<20 ^ uint64(s)*0x9e3779b97f4a7c15)
+		inserted := false
+		for j := range best {
+			if weight > best[j].weight {
+				best = append(best, cand{})
+				copy(best[j+1:], best[j:])
+				best[j] = cand{server: s, weight: weight}
+				inserted = true
+				break
+			}
+		}
+		if !inserted && len(best) < replicas {
+			best = append(best, cand{server: s, weight: weight})
+		}
+		if len(best) > replicas {
+			best = best[:replicas]
+		}
+	}
+	out := make([]int, len(best))
+	for i, b := range best {
+		out[i] = b.server
+	}
+	return out
+}
+
 func mix(x uint64) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -116,6 +199,23 @@ func mix(x uint64) uint64 {
 	}
 	h.Write(b[:])
 	return h.Sum64()
+}
+
+// Mix64 exposes the placement mixer for callers that must hash
+// compatibly with Declustered — internal/pfs maps stripe units onto
+// redundancy groups with it.
+func Mix64(x uint64) uint64 { return mix64(x) }
+
+// mix64 is a splitmix64-style finalizer: a cheap, allocation-free,
+// well-distributed 64-bit mixer for the hot placement paths.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Evaluation measures a strategy over a workload of chunks.

@@ -112,6 +112,112 @@ func TestCheckpointChunksShape(t *testing.T) {
 	}
 }
 
+// Regression: RoundRobin and FileOffsetStripe used to place replicas at
+// (index + r) % n without clamping the replication factor, so asking for
+// more replicas than servers wrapped the ring and landed two replicas of
+// one chunk on the same server.
+func TestStripingReplicasClampedAndDistinct(t *testing.T) {
+	for _, s := range []Strategy{RoundRobin{}, FileOffsetStripe{}, Declustered{}} {
+		for n := 1; n <= 4; n++ {
+			for replicas := 1; replicas <= 6; replicas++ {
+				for idx := int64(0); idx < 8; idx++ {
+					places := s.Place(Chunk{File: 9, Index: idx, Size: 1}, n, replicas)
+					want := replicas
+					if want > n {
+						want = n
+					}
+					if len(places) != want {
+						t.Fatalf("%s: n=%d replicas=%d placed %d, want %d",
+							s.Name(), n, replicas, len(places), want)
+					}
+					seen := map[int]bool{}
+					for _, p := range places {
+						if seen[p] {
+							t.Fatalf("%s: n=%d replicas=%d duplicate server %d in %v",
+								s.Name(), n, replicas, p, places)
+						}
+						seen[p] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeclusteredDeterministicAndDistinct(t *testing.T) {
+	d := Declustered{Ratio: 0.1}
+	c := Chunk{File: 7, Index: 42, Size: 1}
+	a := d.Place(c, 100, 10)
+	b := d.Place(c, 100, 10)
+	if len(a) != 10 {
+		t.Fatalf("placed %d members, want 10", len(a))
+	}
+	seen := map[int]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("declustered placement not deterministic")
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate member %d in %v", a[i], a)
+		}
+		seen[a[i]] = true
+	}
+}
+
+// partnerCount measures how many distinct servers ever share a group
+// with server 0 — the rebuild fan-out a declustering ratio buys.
+func partnerCount(ratio float64, n, width, groups int) int {
+	d := Declustered{Ratio: ratio}
+	partners := map[int]bool{}
+	for g := 0; g < groups; g++ {
+		places := d.Place(Chunk{File: 1, Index: int64(g)}, n, width)
+		member := false
+		for _, p := range places {
+			if p == 0 {
+				member = true
+			}
+		}
+		if !member {
+			continue
+		}
+		for _, p := range places {
+			if p != 0 {
+				partners[p] = true
+			}
+		}
+	}
+	return len(partners)
+}
+
+func TestDeclusteringRatioControlsPartnerSpread(t *testing.T) {
+	// At ratio 1.0 a drive's rebuild partners spread across the whole
+	// population; at a narrow ratio they stay inside a small window.
+	const n, width, groups = 400, 10, 4000
+	wide := partnerCount(1.0, n, width, groups)
+	narrow := partnerCount(0.05, n, width, groups)
+	if narrow == 0 || wide == 0 {
+		t.Fatalf("no groups hit server 0 (narrow=%d wide=%d)", narrow, wide)
+	}
+	// Narrow windows bound the partner set near the window size (0.05 *
+	// 400 = 20 servers; server 0 sits in up to ~2w windows).
+	if narrow > 60 {
+		t.Fatalf("narrow declustering produced %d partners, want a bounded neighbourhood", narrow)
+	}
+	if wide < 3*narrow {
+		t.Fatalf("full declustering produced %d partners vs %d narrow — no spread", wide, narrow)
+	}
+}
+
+func TestDeclusteredBalanced(t *testing.T) {
+	ev := Evaluate(Declustered{}, workload(), 16, 4)
+	if ev.ReplicaSpread != 1.0 {
+		t.Fatalf("replica spread = %v, want 1.0", ev.ReplicaSpread)
+	}
+	if ev.Imbalance > 2.0 {
+		t.Fatalf("imbalance = %v, want <= 2.0 on a uniform workload", ev.Imbalance)
+	}
+}
+
 func TestCRUSHReplicasCappedAtServers(t *testing.T) {
 	c := Chunk{File: 1, Index: 0, Size: 1}
 	places := CRUSHLike{}.Place(c, 2, 3)
@@ -120,5 +226,12 @@ func TestCRUSHReplicasCappedAtServers(t *testing.T) {
 	}
 	if places[0] == places[1] {
 		t.Fatal("duplicate replica placement")
+	}
+}
+
+func BenchmarkDeclusteredPlace(b *testing.B) {
+	d := Declustered{Ratio: 0.1}
+	for i := 0; i < b.N; i++ {
+		d.Place(Chunk{File: uint64(i), Index: int64(i)}, 10000, 12)
 	}
 }

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/obs"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+func rebuildSpec(shards int) RebuildSpec {
+	return RebuildSpec{
+		Pods:    4,
+		Servers: 12,
+		Red:     pfs.Redundancy{K: 4, M: 1, UnitBytes: 256 << 10, ChunkBytes: 64 << 10},
+		Faults: failure.OSSFaultSpec{
+			MTBF:     30,
+			Shape:    1,
+			Downtime: 0, // permanent: overlaps accumulate
+			Horizon:  4,
+			Bursts:   failure.BurstSpec{MTBB: 2, Size: 3},
+		},
+		Seed:         7,
+		Rounds:       4,
+		ComputeTime:  sim.Time(0.25),
+		WriteBytes:   1 << 20,
+		MaxRetries:   3,
+		RetryBackoff: sim.Time(5e-3),
+		Shards:       shards,
+	}
+}
+
+func TestRunRebuildShardCountInvariant(t *testing.T) {
+	run := func(shards int) (RebuildResult, string) {
+		reg := obs.NewRegistry()
+		res := RunRebuild(rebuildSpec(shards), reg)
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+	r1, s1 := run(1)
+	r3, s3 := run(3)
+	if s1 != s3 {
+		t.Fatal("metrics snapshot differs between 1 and 3 shards")
+	}
+	if r1 != r3 {
+		t.Fatalf("results differ across shard counts:\n1: %+v\n3: %+v", r1, r3)
+	}
+}
+
+func TestRunRebuildStormAccounting(t *testing.T) {
+	res := RunRebuild(rebuildSpec(2), obs.NewRegistry())
+	if res.Drives != 48 || res.Groups == 0 {
+		t.Fatalf("population not realized: %+v", res)
+	}
+	if res.Crashes == 0 || res.BurstEvents == 0 {
+		t.Fatalf("fault schedule never fired: crashes=%d bursts=%d", res.Crashes, res.BurstEvents)
+	}
+	if res.Rebuild.Started == 0 {
+		t.Fatal("no rebuild launched despite crashes")
+	}
+	if res.Ops == 0 || res.WriteP99 <= 0 {
+		t.Fatalf("foreground starved: ops=%d writeP99=%v", res.Ops, res.WriteP99)
+	}
+	// m=1 under permanent crashes plus size-3 bursts over 4 seconds: the
+	// draw at this seed loses groups, and every loss is typed and counted.
+	if res.Loss.Groups == 0 || res.PodsWithLoss == 0 {
+		t.Fatalf("expected group losses at this seed: %+v", res.Loss)
+	}
+	if res.GroupLossFrac <= 0 || res.GroupLossFrac > 1 {
+		t.Fatalf("loss fraction %v out of range", res.GroupLossFrac)
+	}
+	wantFrac := float64(res.Loss.Groups) / float64(res.Groups)
+	if res.GroupLossFrac != wantFrac {
+		t.Fatalf("GroupLossFrac = %v, want %v", res.GroupLossFrac, wantFrac)
+	}
+}
+
+func TestRunRebuildDataLossOpsTyped(t *testing.T) {
+	// A tiny pod where every server but one dies at once: the foreground
+	// read after the storm must be dropped as a typed data-loss op, not
+	// retried forever and not silently completed.
+	spec := rebuildSpec(1)
+	spec.Pods = 1
+	spec.Servers = 7
+	spec.Red = pfs.Redundancy{K: 4, M: 1, UnitBytes: 256 << 10, ChunkBytes: 64 << 10}
+	spec.Faults = failure.OSSFaultSpec{
+		MTBF:     0.5, // every drive dies almost immediately, permanently
+		Shape:    1,
+		Downtime: 0,
+		Horizon:  60,
+	}
+	spec.Rounds = 6
+	spec.ComputeTime = sim.Time(2)
+	res := RunRebuild(spec, nil)
+	if res.DataLossOps == 0 {
+		t.Fatalf("no foreground op hit typed data loss under total failure: %+v", res)
+	}
+	if res.Loss.Reads == 0 || res.Loss.Events == 0 {
+		t.Fatalf("loss accounting empty: %+v", res.Loss)
+	}
+}
+
+func TestRunRebuildLSERoutesRepairsThroughGroups(t *testing.T) {
+	spec := rebuildSpec(1)
+	spec.Pods = 1
+	spec.Faults.Bursts = failure.BurstSpec{}
+	spec.Faults.MTBF = 1e6 // crash-free: isolate the latent-error path
+	spec.LSE = &failure.LSESpec{
+		CapacityBytes: 64 << 20,
+		MTBC:          0.5,
+		Shape:         1,
+		TornFraction:  0.25,
+		Horizon:       4,
+	}
+	res := RunRebuild(spec, obs.NewRegistry())
+	if res.Ops == 0 {
+		t.Fatal("foreground never ran")
+	}
+	// With checksums forced on, reads over rotten ranges repair through
+	// the redundancy groups instead of failing or lying; nothing here
+	// should count as data loss.
+	if res.DataLossOps != 0 || res.Loss.Events != 0 {
+		t.Fatalf("latent errors escalated to loss: %+v", res)
+	}
+}
+
+func BenchmarkRunRebuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := rebuildSpec(1)
+		spec.Pods = 2
+		spec.Rounds = 2
+		RunRebuild(spec, nil)
+	}
+}
