@@ -164,10 +164,14 @@ type LossStats struct {
 // ecGroup is one k+m redundancy group. members holds server indices,
 // data slots first ([0,K)), redundancy slots after ([K,K+M)). failed
 // counts members currently crashed and not yet rebuilt or recovered.
+// reserved holds spares claimed by in-flight rebuild chains: two members
+// of one group can be rebuilding concurrently, and without the claim
+// both chains could pick the same spare for different slots.
 type ecGroup struct {
-	members []int32
-	failed  int
-	lost    bool // ever exceeded m concurrent failures
+	members  []int32
+	reserved []int32
+	failed   int
+	lost     bool // ever exceeded m concurrent failures
 }
 
 func (g *ecGroup) has(idx int32) bool {
@@ -179,8 +183,30 @@ func (g *ecGroup) has(idx int32) bool {
 	return false
 }
 
+func (g *ecGroup) reservedHas(idx int32) bool {
+	for _, r := range g.reserved {
+		if r == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *ecGroup) reserve(idx int32) { g.reserved = append(g.reserved, idx) }
+
+func (g *ecGroup) unreserve(idx int32) {
+	for i, r := range g.reserved {
+		if r == idx {
+			g.reserved = append(g.reserved[:i], g.reserved[i+1:]...)
+			return
+		}
+	}
+}
+
 // ecIncident tracks one crashed server's rebuild: the groups still open
-// (not yet rebuilt), and whether a recovery cancelled the job.
+// (not yet rebuilt — including groups whose chain abandoned, since their
+// member is still crashed and only the server's recovery can restore the
+// failed count), and whether a recovery cancelled the job.
 type ecIncident struct {
 	server    int
 	start     sim.Time
@@ -486,6 +512,11 @@ func (fs *FS) lossRead(done func(error)) {
 func (fs *FS) ecOnCrash(srv *server) {
 	red := fs.red
 	gids := append([]int32(nil), red.byServer[srv.idx]...)
+	if len(gids) == 0 {
+		// A server in no groups has nothing to rebuild; counting a
+		// zero-duration rebuild here would dilute the duration stats.
+		return
+	}
 	inc := &ecIncident{
 		server:  srv.idx,
 		start:   fs.eng.Now(),
@@ -513,10 +544,6 @@ func (fs *FS) ecOnCrash(srv *server) {
 	}
 	red.stats.Started++
 	red.cRebStarted.Inc()
-	if inc.pending == 0 {
-		fs.ecRebuildFinished(inc)
-		return
-	}
 	for _, gid := range gids {
 		gid := gid
 		fs.rebuildGroup(inc, int(gid), func(completed bool) { fs.ecGroupDone(inc, gid, completed) })
@@ -541,14 +568,24 @@ func (fs *FS) ecOnRecover(srv *server) {
 			red.groups[gid].failed--
 		}
 	}
+	if inc.pending == 0 {
+		// Every chain had already finished; abandoned groups kept the
+		// record alive for exactly this decrement, and nothing else will
+		// retire it now.
+		delete(red.incidents, srv.idx)
+	}
 }
 
-// ecGroupDone closes one group's rebuild chain.
+// ecGroupDone closes one group's rebuild chain. A completed group leaves
+// the incident and drops its failed count — the spare holds its share
+// now. An abandoned group stays open: its member is still crashed and
+// not rebuilt, so only the server's recovery (ecOnRecover) may restore
+// the failed count.
 func (fs *FS) ecGroupDone(inc *ecIncident, gid int32, completed bool) {
 	red := fs.red
 	if inc.open[gid] {
-		delete(inc.open, gid)
 		if completed {
+			delete(inc.open, gid)
 			red.groups[gid].failed--
 			red.stats.GroupsRebuilt++
 			red.cRebGroups.Inc()
@@ -563,9 +600,11 @@ func (fs *FS) ecGroupDone(inc *ecIncident, gid int32, completed bool) {
 }
 
 // ecRebuildFinished retires an incident once every chain has drained.
+// An incident with abandoned groups still open stays registered so a
+// later recovery can restore their failed counts.
 func (fs *FS) ecRebuildFinished(inc *ecIncident) {
 	red := fs.red
-	if red.incidents[inc.server] == inc {
+	if len(inc.open) == 0 && red.incidents[inc.server] == inc {
 		// A crash→recover→crash sequence may have installed a newer
 		// incident for this server; only this one's record is retired.
 		delete(red.incidents, inc.server)
@@ -586,13 +625,17 @@ func (fs *FS) ecRebuildFinished(inc *ecIncident) {
 
 // ecPickSpare walks the ring from the dead server for a live server
 // outside the group — the distributed spare the group's share is
-// re-created on.
+// re-created on. The pick is reserved in the group, so a concurrent
+// chain rebuilding another member of the same group (two crashes at
+// once) cannot claim the same spare for a different slot; the chain
+// releases the claim when it replaces the member, re-picks, or gives up.
 func (fs *FS) ecPickSpare(gid, deadIdx int) *server {
 	g := &fs.red.groups[gid]
 	n := len(fs.servers)
 	for i := 1; i < n; i++ {
 		s := fs.servers[(deadIdx+i)%n]
-		if !s.down && !g.has(int32(s.idx)) {
+		if !s.down && !g.has(int32(s.idx)) && !g.reservedHas(int32(s.idx)) {
+			g.reserve(int32(s.idx))
 			return s
 		}
 	}
@@ -624,33 +667,47 @@ func (fs *FS) rebuildGroup(inc *ecIncident, gid int, done func(completed bool)) 
 	total := red.cfg.unitBytes()
 	chunkBytes := red.cfg.chunkBytes()
 	var spare *server
+	// finish releases the chain's spare reservation (the completed path
+	// converts it into group membership first) before reporting back.
+	finish := func(completed bool) {
+		if spare != nil {
+			g.unreserve(int32(spare.idx))
+		}
+		if completed {
+			fs.ecReplaceMember(gid, slot, spare)
+		}
+		done(completed)
+	}
 	var step func(off int64)
 	step = func(off int64) {
 		if inc.cancelled {
-			done(false)
+			finish(false)
 			return
 		}
 		if off >= total {
-			fs.ecReplaceMember(gid, slot, spare)
-			done(true)
+			finish(true)
 			return
 		}
 		if g.failed > red.cfg.M {
 			// Beyond m concurrent failures nothing can be reconstructed.
-			done(false)
+			finish(false)
 			return
 		}
 		if spare == nil || spare.down {
+			if spare != nil {
+				g.unreserve(int32(spare.idx)) // the dead spare's claim
+				spare = nil
+			}
 			spare = fs.ecPickSpare(gid, inc.server)
 			if spare == nil {
-				done(false)
+				finish(false)
 				return
 			}
 			off = 0 // a fresh spare restarts the share
 		}
 		readers := fs.ecLiveMembers(gid, slot, red.cfg.K)
 		if len(readers) < red.cfg.K {
-			done(false)
+			finish(false)
 			return
 		}
 		n := chunkBytes
@@ -662,7 +719,7 @@ func (fs *FS) rebuildGroup(inc *ecIncident, gid int, done func(completed bool)) 
 		target := spare
 		barrier := sim.NewBarrier(fs.eng, len(readers), func(sim.Time) {
 			if inc.cancelled {
-				done(false)
+				finish(false)
 				return
 			}
 			if failed {

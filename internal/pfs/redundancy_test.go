@@ -253,6 +253,115 @@ func TestRecoveryCancelsRebuild(t *testing.T) {
 	}
 }
 
+func TestAbandonedRebuildRecoveryRestoresFailedCounts(t *testing.T) {
+	// Crash 4 of 7 servers at once: every 4+2 group loses at least three
+	// members, so every rebuild chain must abandon (fewer than k live
+	// members, no live spare). When the servers recover, the abandoned
+	// groups' data is back, so every failed count must return to zero —
+	// a leak here makes healthy groups report ErrDataLoss forever.
+	eng := sim.NewEngine()
+	fs := New(eng, ecConfig(7, 4, 2))
+	plan := sim.NewFaultPlan()
+	for i := 0; i < 4; i++ {
+		plan.Add(OSSTarget(i), 0, sim.Time(1))
+	}
+	fs.InjectFaults(plan)
+	eng.Run()
+	if st := fs.RebuildStats(); st.AbandonedGroups == 0 {
+		t.Fatalf("no rebuild chain abandoned, scenario lost its teeth: %+v", st)
+	}
+	for gi := range fs.red.groups {
+		if f := fs.red.groups[gi].failed; f != 0 {
+			t.Fatalf("group %d failed=%d after full recovery, want 0", gi, f)
+		}
+	}
+	if n := len(fs.red.incidents); n != 0 {
+		t.Fatalf("%d incidents still registered after full recovery", n)
+	}
+}
+
+func TestConcurrentGroupRebuildsPickDistinctSpares(t *testing.T) {
+	// Two members of one group crash at the same instant — two rebuild
+	// chains race for spares. Ring-adjacent dead members make both walks
+	// start from the same position, so without spare reservation both
+	// chains claim the same server for different slots.
+	eng := sim.NewEngine()
+	fs := New(eng, ecConfig(16, 4, 2))
+	n := len(fs.servers)
+	gid, a, b := -1, -1, -1
+	for gi := range fs.red.groups {
+		g := &fs.red.groups[gi]
+		for _, x := range g.members {
+			if g.has((x + 1) % int32(n)) {
+				gid, a, b = gi, int(x), int((x+1)%int32(n))
+				break
+			}
+		}
+		if gid >= 0 {
+			break
+		}
+	}
+	if gid < 0 {
+		t.Fatal("no group with ring-adjacent members; pick a bigger config")
+	}
+	fs.InjectFaults(sim.NewFaultPlan().
+		Add(OSSTarget(a), 0, 0).
+		Add(OSSTarget(b), 0, 0))
+	eng.Run()
+	seen := make(map[int32]bool)
+	for _, m := range fs.red.groups[gid].members {
+		if seen[m] {
+			t.Fatalf("group %d holds server %d in two slots: %v", gid, m, fs.red.groups[gid].members)
+		}
+		seen[m] = true
+		if fs.servers[m].down {
+			t.Fatalf("group %d member %d still down after rebuild", gid, m)
+		}
+	}
+	for si, gids := range fs.red.byServer {
+		dup := make(map[int32]bool)
+		for _, g := range gids {
+			if dup[g] {
+				t.Fatalf("byServer[%d] lists group %d twice", si, g)
+			}
+			dup[g] = true
+		}
+	}
+	for gi := range fs.red.groups {
+		if r := fs.red.groups[gi].reserved; len(r) != 0 {
+			t.Fatalf("group %d leaked spare reservations %v", gi, r)
+		}
+	}
+}
+
+func TestCrashOfGrouplessServerCountsNoRebuild(t *testing.T) {
+	// One group per server over 32 servers leaves 5 groups × 6 slots =
+	// 30 memberships, so some servers belong to no group; crashing one
+	// must not count a rebuild Started/Completed.
+	eng := sim.NewEngine()
+	cfg := ecConfig(32, 4, 2)
+	cfg.Redundancy.GroupsPerServer = 1
+	fs := New(eng, cfg)
+	idle := -1
+	for i := range fs.servers {
+		if len(fs.red.byServer[i]) == 0 {
+			idle = i
+			break
+		}
+	}
+	if idle < 0 {
+		t.Fatal("every server belongs to a group; shrink GroupsPerServer")
+	}
+	fs.InjectFaults(sim.NewFaultPlan().Add(OSSTarget(idle), 0, 0))
+	eng.Run()
+	if st := fs.RebuildStats(); st != (RebuildStats{}) {
+		t.Fatalf("groupless crash accumulated rebuild stats %+v", st)
+	}
+	if n := len(fs.red.incidents); n != 0 {
+		t.Fatalf("groupless crash left %d incidents registered", n)
+	}
+}
+
 func TestScrubJoinsInFlightRepairWithoutDoubleCounting(t *testing.T) {
 	// Two checksummed readers hit the same rotten unit back to back: the
 	// second must join the first's in-flight reconstruction instead of
