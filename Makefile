@@ -11,9 +11,13 @@ test:
 	$(GO) test -race ./...
 
 # lint mirrors the blocking lint steps in CI exactly: formatting, vet,
-# and the repo's own determinism/invariant analyzers (cmd/pdsilint).
-# Pinned third-party tools (staticcheck, govulncheck, shadow) run in CI
-# only, because they need a network fetch to install.
+# and the repo's own determinism/invariant analyzers (cmd/pdsilint),
+# with per-analyzer wall times reported so a regressing analyzer is
+# visible. CI sets LINT_BUDGET to gate total lint time; locally it
+# defaults to 0 (disabled) since machine speeds vary. Pinned
+# third-party tools (staticcheck, govulncheck, shadow) run in CI only,
+# because they need a network fetch to install.
+LINT_BUDGET ?= 0
 lint:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
@@ -22,7 +26,7 @@ lint:
 		exit 1; \
 	fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/pdsilint ./...
+	$(GO) run ./cmd/pdsilint -time -budget $(LINT_BUDGET) ./...
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=GlobalIndex -benchtime=1x ./internal/core/...

@@ -164,7 +164,10 @@ func runIndexBench(entries, writers, ingestWorkers int, reg *obs.Registry) index
 				os.Exit(1)
 			}
 		}
-		wr.Close()
+		if err := wr.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "indexbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	sw := obs.StartStopwatch()

@@ -1,3 +1,5 @@
+//lint:allowfile goroutine -- the example demonstrates N uncoordinated concurrent writer ranks, the exact workload PLFS exists to absorb
+
 // Quickstart: create a PLFS container, write to it from several
 // uncoordinated "ranks" (goroutines), and read the merged logical file
 // back — the core PLFS semantics in ~60 lines.

@@ -1,3 +1,5 @@
+//lint:allowfile goroutine -- the example demonstrates concurrent uncoordinated processes writing through one mount, the workload PLFS exists to absorb
+
 // Transparent: use PLFS through its FUSE-flavored Mount, the interface
 // that made PLFS deployable with *no application changes*: an application
 // that thinks it's doing plain file I/O gets per-process logs underneath.
@@ -72,7 +74,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	size, _ := f.Size()
+	size, err := f.Size()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("logical checkpoint: %d bytes from %d uncoordinated writers\n", size, ranks)
 
 	data, err := io.ReadAll(plfs.NewReadSeeker(f))

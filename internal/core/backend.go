@@ -1,3 +1,5 @@
+//lint:allowfile goroutine -- sanctioned site: the in-memory backend is shared by concurrent writer ranks and must be internally synchronized
+
 // Package core implements PLFS, the Parallel Log-structured File System
 // (Bent et al., SC'09; conceived and prototyped within PDSI). PLFS is
 // interposition middleware: an application's shared logical file is backed

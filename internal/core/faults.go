@@ -201,13 +201,14 @@ func (w *Writer) failoverLocked() error {
 	}
 	index, err := w.c.backend.Create(fmt.Sprintf("%s/%s%d", hd, indexPrefix, key))
 	if err != nil {
-		data.Close()
+		data.Close() //lint:allow errflow -- the Create failure is the error; this close releases the unused data handle
 		return err
 	}
 	// Best-effort close of the dead handles; their contents stay on the
 	// backend for the reader.
+	//lint:allow errflow -- dead handles after a simulated crash; nothing to report to
 	w.data.Close()
-	w.index.Close()
+	w.index.Close() //lint:allow errflow -- dead handles after a simulated crash; nothing to report to
 	pending := w.pending
 	w.pending = nil
 	w.data, w.index = data, index

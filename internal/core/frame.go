@@ -180,7 +180,7 @@ type logFsck struct {
 // in place and the decoder simply keeps ignoring it.
 func truncateTail(f BackendFile, clean int64) {
 	if tr, ok := f.(Truncator); ok {
-		tr.Truncate(clean)
+		tr.Truncate(clean) //lint:allow errflow -- opportunistic repair: a failed truncate leaves the tail for the decoder to keep ignoring
 	}
 }
 

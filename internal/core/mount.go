@@ -1,3 +1,5 @@
+//lint:allowfile goroutine -- sanctioned site: a Mount is opened by concurrent application ranks, mirroring the FUSE layer it models
+
 package core
 
 import (
@@ -141,7 +143,9 @@ func (f *LogicalFile) WriteAt(p []byte, off int64) (int, error) {
 	}
 	// Any cached read view is stale after a write.
 	if f.reader != nil {
-		f.reader.Close()
+		if err := f.reader.Close(); err != nil {
+			return 0, err
+		}
 		f.reader = nil
 	}
 	return f.writer.WriteAt(p, off)
@@ -231,7 +235,7 @@ func (f *LogicalFile) Close() error {
 		f.writer = nil
 	}
 	if f.reader != nil {
-		if e := f.reader.Close(); err == nil {
+		if e := f.reader.Close(); e != nil && err == nil {
 			err = e
 		}
 		f.reader = nil

@@ -131,6 +131,15 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 			}
 		}
 	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by file, line, column, analyzer name,
+// then message — the deterministic output order. Exported so drivers
+// that run analyzers one at a time (to measure per-analyzer wall time)
+// can merge their findings back into canonical order.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -147,19 +156,22 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Message < b.Message
 	})
-	return findings, nil
 }
 
-// suppressed reports whether an //lint:allow directive covers the
-// diagnostic position for the named analyzer: a directive suppresses
-// findings on its own source line and on the line immediately below it
-// (so it can trail the offending expression or sit on its own line
-// above).
+// suppressed reports whether an //lint:allow or //lint:allowfile
+// directive covers the diagnostic position for the named analyzer: a
+// line directive suppresses findings on its own source line and on the
+// line immediately below it (so it can trail the offending expression
+// or sit on its own line above); a file directive suppresses every
+// finding in its file.
 func (u *Unit) suppressed(analyzer string, pos token.Pos) bool {
 	if !pos.IsValid() {
 		return false
 	}
 	p := u.Fset.Position(pos)
+	if nameListHas(u.allowFiles[p.Filename], analyzer) {
+		return true
+	}
 	lines := u.allows[p.Filename]
 	if lines == nil {
 		return false
@@ -168,11 +180,16 @@ func (u *Unit) suppressed(analyzer string, pos token.Pos) bool {
 	if names == "" {
 		names = lines[p.Line-1]
 	}
-	if names == "" {
+	return nameListHas(names, analyzer)
+}
+
+// nameListHas reports whether the comma-joined list contains name.
+func nameListHas(list, name string) bool {
+	if list == "" {
 		return false
 	}
-	for _, n := range strings.Split(names, ",") {
-		if strings.TrimSpace(n) == analyzer {
+	for _, n := range strings.Split(list, ",") {
+		if strings.TrimSpace(n) == name {
 			return true
 		}
 	}

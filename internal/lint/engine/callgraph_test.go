@@ -1,0 +1,169 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint/engine"
+)
+
+func buildGraph(t *testing.T, files map[string]string) *engine.CallGraph {
+	t.Helper()
+	root := writeModule(t, files)
+	loader, err := engine.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.BuildCallGraph(units)
+}
+
+func TestCallGraphDirectAndMethodEdges(t *testing.T) {
+	g := buildGraph(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+type T struct{}
+
+func (t *T) M() { helper() }
+
+func helper() {}
+
+func Top() {
+	var t T
+	t.M()
+}
+`,
+	})
+	top := g.Nodes["example.test/a.Top"]
+	if top == nil {
+		t.Fatal("Top not in graph")
+	}
+	reach := g.Reachable([]engine.FuncID{"example.test/a.Top"})
+	for _, want := range []engine.FuncID{
+		"example.test/a.(T).M",
+		"example.test/a.helper",
+	} {
+		if !reach[want] {
+			t.Errorf("Top does not reach %s; reachable set: %v", want, reach)
+		}
+	}
+}
+
+func TestCallGraphFuncLitAndLocalVarResolution(t *testing.T) {
+	g := buildGraph(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func target() {}
+
+func Top() {
+	var recurse func(int)
+	recurse = func(i int) {
+		if i > 0 {
+			recurse(i - 1)
+		}
+		target()
+	}
+	recurse(3)
+}
+`,
+	})
+	reach := g.Reachable([]engine.FuncID{"example.test/a.Top"})
+	if !reach["example.test/a.target"] {
+		t.Errorf("call through a local func variable not resolved; reachable: %v", reach)
+	}
+	// The literal must have its own node under the parent's id.
+	foundLit := false
+	for _, id := range g.SortedIDs() {
+		if strings.HasPrefix(string(id), "example.test/a.Top$") {
+			foundLit = true
+		}
+	}
+	if !foundLit {
+		t.Error("function literal did not get its own node")
+	}
+}
+
+func TestCallGraphRefEdgeForFunctionValue(t *testing.T) {
+	g := buildGraph(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func callback() {}
+
+func register(fn func()) { fn() }
+
+func Top() { register(callback) }
+`,
+	})
+	// Passing callback as a value must produce a (ref) edge so
+	// reachability stays conservative.
+	reach := g.Reachable([]engine.FuncID{"example.test/a.Top"})
+	if !reach["example.test/a.callback"] {
+		t.Errorf("function value reference not tracked; reachable: %v", reach)
+	}
+}
+
+func TestCallGraphCrossPackageCanonicalIDs(t *testing.T) {
+	g := buildGraph(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+func Leaf() {}
+`,
+		"lib/lib_test.go": `package lib
+
+import "testing"
+
+func TestLeaf(t *testing.T) { Leaf() }
+`,
+		"app/app.go": `package app
+
+import "example.test/lib"
+
+func Use() { lib.Leaf() }
+`,
+	})
+	// app's view of lib.Leaf comes from a different type-checker
+	// instance than lib's own merged-with-tests unit; the canonical id
+	// must unify them so the edge lands on the declared node.
+	n := g.Nodes["example.test/lib.Leaf"]
+	if n == nil {
+		t.Fatal("lib.Leaf has no node")
+	}
+	if n.Body == nil {
+		t.Fatal("lib.Leaf node lost its declaration body")
+	}
+	reach := g.Reachable([]engine.FuncID{"example.test/app.Use"})
+	if !reach["example.test/lib.Leaf"] {
+		t.Errorf("cross-package call did not unify ids; reachable: %v", reach)
+	}
+	if tn := g.Nodes["example.test/lib.TestLeaf"]; tn == nil || !tn.TestOnly {
+		t.Error("test function missing or not marked TestOnly")
+	}
+}
+
+func TestCallGraphPathTo(t *testing.T) {
+	g := buildGraph(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func c() {}
+func b() { c() }
+func A() { b() }
+`,
+	})
+	path := g.PathTo("example.test/a.A", func(id engine.FuncID) bool {
+		return id == "example.test/a.c"
+	})
+	if len(path) != 2 {
+		t.Fatalf("path length %d, want 2 (A->b->c): %v", len(path), path)
+	}
+	if path[0].To != "example.test/a.b" || path[1].To != "example.test/a.c" {
+		t.Fatalf("unexpected path %v", path)
+	}
+}

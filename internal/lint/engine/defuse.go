@@ -1,0 +1,334 @@
+package engine
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the small reaching-definitions / value-use layer on top
+// of BuildCFG: given one local variable (a types.Object) and its
+// function's CFG, DropPaths answers "is there a control-flow path from
+// this definition of the variable to a redefinition or to function exit
+// on which the value is never read?" — the shape of a dropped error.
+
+// EventKind classifies one occurrence of the tracked object.
+type EventKind int
+
+const (
+	EvUse EventKind = iota // the value is read
+	EvDef                  // the variable is (re)assigned, killing the value
+)
+
+// ObjEvent is one ordered occurrence of the tracked object in a block.
+type ObjEvent struct {
+	Kind EventKind
+	Pos  token.Pos
+	Node ast.Node
+}
+
+// DropKind says how a definition's value was lost.
+type DropKind int
+
+const (
+	DropNone      DropKind = iota
+	DropExit               // a path reaches function exit without a use
+	DropOverwrite          // a path reaches a redefinition without a use
+	DropEscaped            // the variable escapes (closure, &x): analysis declined
+)
+
+// ObjFlow holds the per-block event streams for one object in one CFG.
+type ObjFlow struct {
+	cfg *CFG
+	// events[block.Index] is the ordered event stream of that block.
+	events  [][]ObjEvent
+	Escaped bool // captured by a closure, address taken, or deferred use
+}
+
+// FlowFor computes the event streams of obj over cfg. Closures are not
+// descended into: a reference to obj from within a FuncLit, a unary &obj,
+// or any occurrence inside a defer statement marks the flow Escaped, and
+// DropPaths then reports nothing — the value may be read at any time, so
+// path analysis would lie.
+func FlowFor(cfg *CFG, info *types.Info, obj types.Object) *ObjFlow {
+	fl := &ObjFlow{cfg: cfg, events: make([][]ObjEvent, len(cfg.Blocks))}
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			fl.scan(n, info, obj, blk)
+		}
+	}
+	return fl
+}
+
+// scan appends obj's events in n, in source order, to blk's stream.
+func (fl *ObjFlow) scan(n ast.Node, info *types.Info, obj types.Object, blk *Block) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// RHS reads happen before LHS writes.
+		for _, rhs := range n.Rhs {
+			fl.scanExpr(rhs, info, obj, blk)
+		}
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				var o types.Object
+				if n.Tok == token.DEFINE {
+					o = info.Defs[id]
+					if o == nil {
+						o = info.Uses[id] // re-used var in a := with one new var
+					}
+				} else {
+					o = info.Uses[id]
+				}
+				if o == obj {
+					kind := EvDef
+					if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+						kind = EvUse // compound ops (+=) read then write
+					}
+					fl.emit(blk, ObjEvent{Kind: kind, Pos: id.Pos(), Node: n})
+					if kind == EvUse {
+						fl.emit(blk, ObjEvent{Kind: EvDef, Pos: id.Pos(), Node: n})
+					}
+					continue
+				}
+			}
+			// Non-identifier LHS (field, index, deref): reads obj if it
+			// appears inside the expression.
+			fl.scanExpr(lhs, info, obj, blk)
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok && info.Uses[id] == obj {
+			fl.emit(blk, ObjEvent{Kind: EvUse, Pos: id.Pos(), Node: n})
+			fl.emit(blk, ObjEvent{Kind: EvDef, Pos: id.Pos(), Node: n})
+			return
+		}
+		fl.scanExpr(n.X, info, obj, blk)
+	case *ast.RangeStmt:
+		// Only the per-iteration key/value assignment is recorded on the
+		// header block (the range expression is a separate node).
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if info.Defs[id] == obj || info.Uses[id] == obj {
+					fl.emit(blk, ObjEvent{Kind: EvDef, Pos: id.Pos(), Node: n})
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				fl.scanExpr(v, info, obj, blk)
+			}
+			for _, id := range vs.Names {
+				if info.Defs[id] == obj && len(vs.Values) > 0 {
+					fl.emit(blk, ObjEvent{Kind: EvDef, Pos: id.Pos(), Node: n})
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred call runs at exit; if it mentions obj at all the
+		// value stays live on every path. Treat as escape.
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			fl.Escaped = true
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			fl.scanExpr(r, info, obj, blk)
+		}
+		// A naked return in a function with named results reads them
+		// all; the caller layers that in via MarkNakedReturnUse.
+	default:
+		if e, ok := n.(ast.Expr); ok {
+			fl.scanExpr(e, info, obj, blk)
+			return
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			ast.Inspect(s, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.FuncLit:
+					fl.noteEscapes(m, info, obj)
+					return false
+				case *ast.UnaryExpr:
+					if m.Op == token.AND {
+						fl.noteEscapes(m, info, obj)
+					}
+				case *ast.Ident:
+					if info.Uses[m] == obj {
+						fl.emit(blk, ObjEvent{Kind: EvUse, Pos: m.Pos(), Node: m})
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// scanExpr records reads of obj inside e; a FuncLit capture or address
+// taken marks the flow escaped.
+func (fl *ObjFlow) scanExpr(e ast.Expr, info *types.Info, obj types.Object, blk *Block) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			fl.noteEscapes(m, info, obj)
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				fl.noteEscapes(m, info, obj)
+			}
+		case *ast.Ident:
+			if info.Uses[m] == obj {
+				fl.emit(blk, ObjEvent{Kind: EvUse, Pos: m.Pos(), Node: m})
+			}
+		}
+		return true
+	})
+}
+
+// noteEscapes marks the flow escaped if obj occurs anywhere under n.
+func (fl *ObjFlow) noteEscapes(n ast.Node, info *types.Info, obj types.Object) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			fl.Escaped = true
+		}
+		return !fl.Escaped
+	})
+}
+
+func (fl *ObjFlow) emit(blk *Block, ev ObjEvent) {
+	fl.events[blk.Index] = append(fl.events[blk.Index], ev)
+}
+
+// MarkNakedReturnUse appends a use event after every naked return in a
+// function whose results are named (a naked return reads all of them).
+func (fl *ObjFlow) MarkNakedReturnUse() {
+	for _, blk := range fl.cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if r, ok := n.(*ast.ReturnStmt); ok && len(r.Results) == 0 {
+				fl.emit(blk, ObjEvent{Kind: EvUse, Pos: r.Pos(), Node: r})
+			}
+		}
+	}
+}
+
+// DropFromEntry reports how a value live at function entry (a
+// parameter) can be lost: a path from entry to exit or to a
+// redefinition with no intervening read. Used for error-typed callback
+// parameters, which the callee is handed exactly once.
+func (fl *ObjFlow) DropFromEntry() DropKind {
+	if fl.Escaped {
+		return DropEscaped
+	}
+	seen := make(map[*Block]bool, len(fl.cfg.Blocks))
+	var walk func(blk *Block) DropKind
+	walk = func(blk *Block) DropKind {
+		if seen[blk] {
+			return DropNone
+		}
+		seen[blk] = true
+		if blk == fl.cfg.Exit {
+			return DropExit
+		}
+		if evs := fl.events[blk.Index]; len(evs) > 0 {
+			if evs[0].Kind == EvUse {
+				return DropNone
+			}
+			return DropOverwrite
+		}
+		if len(blk.Succs) == 0 {
+			return DropExit
+		}
+		for _, s := range blk.Succs {
+			if k := walk(s); k != DropNone {
+				return k
+			}
+		}
+		return DropNone
+	}
+	return walk(fl.cfg.Blocks[0])
+}
+
+// DropPaths reports how the value written by the definition at defPos
+// can be lost: by reaching function exit or a redefinition with no
+// intervening read. defPos must be the Pos of a Def event previously
+// collected (emit order ties it to its block and index). Returns
+// DropNone when every path reads the value first, DropEscaped when the
+// variable escapes and the analysis declines to answer.
+func (fl *ObjFlow) DropPaths(defPos token.Pos) DropKind {
+	if fl.Escaped {
+		return DropEscaped
+	}
+	// Locate the def event.
+	var defBlk *Block
+	defIdx := -1
+	for _, blk := range fl.cfg.Blocks {
+		for i, ev := range fl.events[blk.Index] {
+			if ev.Kind == EvDef && ev.Pos == defPos {
+				defBlk, defIdx = blk, i
+				break
+			}
+		}
+		if defBlk != nil {
+			break
+		}
+	}
+	if defBlk == nil {
+		return DropNone
+	}
+	// Within the defining block, the next event decides.
+	for _, ev := range fl.events[defBlk.Index][defIdx+1:] {
+		if ev.Kind == EvUse {
+			return DropNone
+		}
+		return DropOverwrite
+	}
+	// Walk successors: the first event in each reached block decides for
+	// that path; blocks with no event propagate the question.
+	seen := make(map[*Block]bool, len(fl.cfg.Blocks))
+	var walk func(blk *Block) DropKind
+	walk = func(blk *Block) DropKind {
+		if seen[blk] {
+			return DropNone
+		}
+		seen[blk] = true
+		if blk == fl.cfg.Exit {
+			return DropExit
+		}
+		if evs := fl.events[blk.Index]; len(evs) > 0 {
+			if evs[0].Kind == EvUse {
+				return DropNone
+			}
+			return DropOverwrite
+		}
+		if len(blk.Succs) == 0 {
+			return DropExit
+		}
+		for _, s := range blk.Succs {
+			if k := walk(s); k != DropNone {
+				return k
+			}
+		}
+		return DropNone
+	}
+	for _, s := range defBlk.Succs {
+		if k := walk(s); k != DropNone {
+			return k
+		}
+	}
+	return DropNone
+}

@@ -130,6 +130,185 @@ func TestRunOrderIsDeterministic(t *testing.T) {
 	}
 }
 
+func TestAllowFileSuppressesWholeFile(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"a/sanctioned.go": `package a
+
+//lint:allowfile callcounter -- this whole file is a sanctioned site
+
+func f() {}
+
+func g() {
+	f()
+	f()
+}
+`,
+		"a/plain.go": `package a
+
+func h() { f() }
+`,
+	})
+	loader, err := engine.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := engine.Run(units, []*engine.Analyzer{callCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (sanctioned.go fully suppressed, plain.go not): %v", len(findings), findings)
+	}
+	if filepath.Base(findings[0].Position.Filename) != "plain.go" {
+		t.Fatalf("finding in %s, want plain.go", findings[0].Position.Filename)
+	}
+}
+
+func TestAllowFileRequiresReason(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+//lint:allowfile callcounter
+
+func f() {}
+
+func g() { f() }
+`,
+	})
+	loader, err := engine.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := engine.Run(units, []*engine.Analyzer{callCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: a reason-less allowfile directive must be inert", len(findings))
+	}
+}
+
+// TestLoaderSkipsBuildConstrainedFiles: a //go:build-excluded helper or
+// a foreign-GOOS file must not break type-checking of its package.
+func TestLoaderSkipsBuildConstrainedFiles(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc F() int { return 1 }\n",
+		"a/gen.go": `//go:build ignore
+
+package main
+
+// A generator script: different package name, would wreck the
+// type-check if the loader parsed it into package a.
+func main() {}
+`,
+		"a/a_windows.go": "package a\n\nfunc G() int { return windowsOnly() }\n",
+	})
+	loader, err := engine.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll must skip constrained files: %v", err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("got %d units, want 1", len(units))
+	}
+	if len(units[0].Files) != 1 {
+		t.Fatalf("unit has %d files, want 1 (gen.go and a_windows.go skipped)", len(units[0].Files))
+	}
+}
+
+// TestLoaderExternalTestPackage: package foo_test files form their own
+// unit with the _test import-path suffix, and can import the package
+// under test.
+func TestLoaderExternalTestPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":     "module example.test\n\ngo 1.22\n",
+		"lib/lib.go": "package lib\n\nfunc V() int { return 42 }\n",
+		"lib/ext_test.go": `package lib_test
+
+import (
+	"testing"
+
+	"example.test/lib"
+)
+
+func TestV(t *testing.T) {
+	if lib.V() != 42 {
+		t.Fail()
+	}
+}
+`,
+	})
+	loader, err := engine.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("got %d units, want 2 (lib + lib_test)", len(units))
+	}
+	var ext *engine.Unit
+	for _, u := range units {
+		if u.ImportPath == "example.test/lib_test" {
+			ext = u
+		}
+	}
+	if ext == nil {
+		t.Fatal("external test package unit not created")
+	}
+	if !ext.IsTest {
+		t.Error("external test unit not marked IsTest")
+	}
+}
+
+// TestLoaderStdlibImports: packages leaning on cgo-free stdlib imports
+// type-check through the source importer with no network or export
+// data.
+func TestLoaderStdlibImports(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import (
+	"encoding/hex"
+	"hash/crc32"
+	"strconv"
+)
+
+func F(b []byte) string {
+	return strconv.Itoa(int(crc32.ChecksumIEEE(b))) + hex.EncodeToString(b)
+}
+`,
+	})
+	loader, err := engine.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("stdlib-importing package failed to load: %v", err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("got %d units, want 1", len(units))
+	}
+}
+
 func TestLoaderResolvesIntraModuleImports(t *testing.T) {
 	root := writeModule(t, map[string]string{
 		"go.mod":        "module example.test\n\ngo 1.22\n",

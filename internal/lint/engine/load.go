@@ -20,6 +20,9 @@ import (
 // is linted under the same contracts as production code.
 type Unit struct {
 	ImportPath string
+	// ModulePath is the module the loader was rooted at; analyzers use
+	// it to tell module-internal callees from stdlib ones.
+	ModulePath string
 	Dir        string
 	Fset       *token.FileSet
 	Files      []*ast.File
@@ -31,6 +34,43 @@ type Unit struct {
 	// allows maps filename -> line -> comma-joined analyzer names from
 	// //lint:allow directives, collected at parse time.
 	allows map[string]map[int]string
+
+	// allowFiles maps filename -> comma-joined analyzer names from
+	// file-scope //lint:allowfile directives.
+	allowFiles map[string]string
+
+	// funcs caches the unit's call-graph contribution (callgraph.go),
+	// along with the literal and local-function-variable indexes built
+	// during the same walk.
+	funcs    []*FuncNode
+	litIDs   map[*ast.FuncLit]FuncID
+	varFuncs map[types.Object][]FuncID
+}
+
+// FileAllowed reports whether a file-scope //lint:allowfile directive
+// in the file containing pos names the given analyzer. Analyzers whose
+// policy hangs on sanctioned-site files (walltime-reach's Stopwatch
+// root) query this directly.
+func (u *Unit) FileAllowed(pos token.Pos, analyzer string) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	return nameListHas(u.allowFiles[u.Fset.Position(pos).Filename], analyzer)
+}
+
+// LitID returns the call-graph id of a function literal in this unit
+// (building the unit's function index on first use), or "".
+func (u *Unit) LitID(lit *ast.FuncLit) FuncID {
+	unitFuncs(u)
+	return u.litIDs[lit]
+}
+
+// FuncsBoundTo returns the ids of the function literals or named
+// functions assigned to a local variable anywhere in its enclosing
+// function, resolving the `var f func(); f = func(){...}; use(f)` idiom.
+func (u *Unit) FuncsBoundTo(obj types.Object) []FuncID {
+	unitFuncs(u)
+	return u.varFuncs[obj]
 }
 
 // Loader parses and type-checks packages without the go/packages
@@ -133,15 +173,24 @@ func (l *Loader) loadPlain(path, dir string) (*types.Package, error) {
 }
 
 // parseDir parses every .go file in dir, returning non-test files and
-// test files separately, each sorted by filename.
+// test files separately, each sorted by filename. Files excluded by
+// build constraints — a //go:build line or a GOOS/GOARCH filename
+// suffix that does not match the current context — are skipped, the
+// way the go tool would skip them, so a foo_windows.go or a
+// `//go:build ignore` helper cannot break type-checking of the rest of
+// the package.
 func (l *Loader) parseDir(dir string) (plain, test []*ast.File, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
+	ctx := build.Default
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			if match, err := ctx.MatchFile(dir, e.Name()); err != nil || !match {
+				continue
+			}
 			names = append(names, e.Name())
 		}
 	}
@@ -190,6 +239,7 @@ func (l *Loader) unitFor(importPath, dir string, files []*ast.File, isTest bool)
 	}
 	u := &Unit{
 		ImportPath: importPath,
+		ModulePath: l.ModulePath,
 		Dir:        dir,
 		Fset:       l.Fset,
 		Files:      files,
@@ -197,6 +247,7 @@ func (l *Loader) unitFor(importPath, dir string, files []*ast.File, isTest bool)
 		Info:       info,
 		IsTest:     isTest,
 		allows:     map[string]map[int]string{},
+		allowFiles: map[string]string{},
 	}
 	for _, f := range files {
 		l.collectAllows(u, f)
@@ -205,17 +256,28 @@ func (l *Loader) unitFor(importPath, dir string, files []*ast.File, isTest bool)
 }
 
 // LoadDir loads the single package in dir under the given import path
-// (used for testdata fixtures; test files in dir are ignored).
+// (used for testdata fixtures). In-package _test.go files are merged
+// into the unit, exactly as LoadAll does for module packages, so
+// fixtures can exercise analyzer behavior that depends on test-file
+// context; external _test packages in fixtures are not supported.
 func (l *Loader) LoadDir(importPath, dir string) (*Unit, error) {
 	l.RegisterDir(importPath, dir)
-	files, _, err := l.parseDir(dir)
+	plain, test, err := l.parseDir(dir)
 	if err != nil {
 		return nil, err
+	}
+	files := append([]*ast.File{}, plain...)
+	isTest := false
+	for _, f := range test {
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			files = append(files, f)
+			isTest = true
+		}
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no Go files in %s", dir)
 	}
-	return l.unitFor(importPath, dir, files, false)
+	return l.unitFor(importPath, dir, files, isTest)
 }
 
 // LoadAll walks the module tree and returns one unit per package: the
@@ -225,6 +287,7 @@ func (l *Loader) LoadDir(importPath, dir string) (*Unit, error) {
 // directories are skipped, matching go tool conventions.
 func (l *Loader) LoadAll() ([]*Unit, error) {
 	var dirs []string
+	seen := map[string]bool{}
 	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -238,8 +301,13 @@ func (l *Loader) LoadAll() ([]*Unit, error) {
 			return nil
 		}
 		if strings.HasSuffix(d.Name(), ".go") {
+			// Walk order interleaves subdirectories between a directory's
+			// own files (bench_test.go < cmd/ < integration_test.go), so a
+			// "same as last" check would load the module root twice; dedupe
+			// with a set.
 			dir := filepath.Dir(path)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			if !seen[dir] {
+				seen[dir] = true
 				dirs = append(dirs, dir)
 			}
 		}
@@ -309,15 +377,35 @@ func (l *Loader) LoadDirUnits(dir string) ([]*Unit, error) {
 	return units, nil
 }
 
-// collectAllows scans a file's comments for //lint:allow directives.
-// Grammar: "//lint:allow name[,name...]" optionally followed by
-// " -- free-text reason". A directive covers its own line and the line
-// immediately below.
+// collectAllows scans a file's comments for //lint:allow and
+// //lint:allowfile directives. Grammar:
+//
+//	//lint:allow name[,name...] [-- free-text reason]
+//	//lint:allowfile name[,name...] -- reason
+//
+// An allow directive covers its own line and the line immediately
+// below. An allowfile directive covers the whole file it appears in —
+// the sanctioned-site form for files whose entire purpose is an
+// exception (the Stopwatch shim, the cluster shard runners) — and must
+// carry a reason.
 func (l *Loader) collectAllows(u *Unit, f *ast.File) {
 	for _, group := range f.Comments {
 		for _, c := range group.List {
 			text := strings.TrimPrefix(c.Text, "//")
 			text = strings.TrimSpace(text)
+			if rest, ok := strings.CutPrefix(text, "lint:allowfile"); ok {
+				names, reason, hasReason := strings.Cut(strings.TrimSpace(rest), " -- ")
+				names = strings.TrimSpace(names)
+				if names == "" || !hasReason || strings.TrimSpace(reason) == "" {
+					continue // a file-scope waiver without a reason is inert
+				}
+				p := l.Fset.Position(c.Slash)
+				if prev := u.allowFiles[p.Filename]; prev != "" {
+					names = prev + "," + names
+				}
+				u.allowFiles[p.Filename] = names
+				continue
+			}
 			rest, ok := strings.CutPrefix(text, "lint:allow")
 			if !ok {
 				continue

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/engine"
+)
+
+// Goroutine forbids concurrency primitives in simulation code: go
+// statements, channel types and operations (send, receive, close,
+// select, range-over-channel), and any use of sync or sync/atomic. The
+// deterministic simulation contract requires each shard's engine to be
+// strictly single-threaded — event order, and therefore every snapshot
+// byte, is defined by the heap and the conservative-lookahead windows,
+// not by the Go scheduler. Code that genuinely needs threads is a
+// sanctioned site, marked with a file-scope
+// `//lint:allowfile goroutine -- reason` directive: sim.Cluster's shard
+// runner pool, core's bounded index-ingest pool, and obs's
+// mutex-guarded registry (shared by parallel shard engines). Test files
+// are exempt: race tests and parallel harnesses exercise concurrency on
+// purpose.
+var Goroutine = &engine.Analyzer{
+	Name: "goroutine",
+	Doc: "forbid go statements, channels, and sync primitives in simulation code; " +
+		"per-shard determinism requires single-threaded engines (sanctioned pools use //lint:allowfile)",
+	Run: func(pass *engine.Pass) (any, error) {
+		for _, f := range pass.Files {
+			if isTestFile(pass, f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(),
+						"go statement in simulation code: shard engines must stay single-threaded; cross-shard work goes through Cluster.Send")
+				case *ast.SendStmt:
+					pass.Reportf(n.Pos(),
+						"channel send in simulation code: event handoff must go through the engine (Schedule/At) or Cluster.Send")
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						pass.Reportf(n.Pos(),
+							"channel receive in simulation code: take inputs from scheduled events, not channels")
+					}
+				case *ast.SelectStmt:
+					pass.Reportf(n.Pos(),
+						"select in simulation code: nondeterministic case choice breaks same-seed replay")
+				case *ast.ChanType:
+					pass.Reportf(n.Pos(),
+						"channel type in simulation code: carry work as scheduled events, not channel traffic")
+				case *ast.RangeStmt:
+					if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							pass.Reportf(n.Pos(),
+								"range over channel in simulation code: consume scheduled events instead")
+						}
+					}
+				case *ast.CallExpr:
+					if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+						if obj, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && obj.Name() == "close" {
+							pass.Reportf(n.Pos(), "close of a channel in simulation code")
+						}
+					}
+				case *ast.SelectorExpr:
+					if id, ok := n.X.(*ast.Ident); ok {
+						if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+							switch pn.Imported().Path() {
+							case "sync", "sync/atomic":
+								pass.Reportf(n.Pos(),
+									"%s.%s in simulation code: locking and atomics imply shared-memory threading; "+
+										"single-threaded shard engines need neither", pn.Imported().Path(), n.Sel.Name)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}

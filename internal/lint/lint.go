@@ -26,6 +26,10 @@ func All() []*engine.Analyzer {
 		Maporder,
 		Metricname,
 		Errwrap,
+		Goroutine,
+		Shardown,
+		Errflow,
+		Walltimereach,
 	}
 }
 

@@ -27,10 +27,29 @@ func TestErrwrap(t *testing.T) {
 	analysistest.Run(t, lint.Errwrap, "errwrap")
 }
 
+func TestGoroutine(t *testing.T) {
+	analysistest.Run(t, lint.Goroutine, "goroutine")
+}
+
+func TestShardown(t *testing.T) {
+	analysistest.Run(t, lint.Shardown, "shardown")
+}
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, lint.Errflow, "errflow")
+}
+
+func TestWalltimereach(t *testing.T) {
+	analysistest.Run(t, lint.Walltimereach, "walltimereach/helpers", "walltimereach/app")
+}
+
 // TestAnalyzerMetadata pins the analyzer set: names are the //lint:allow
 // vocabulary and must stay stable.
 func TestAnalyzerMetadata(t *testing.T) {
-	want := []string{"walltime", "globalrand", "maporder", "metricname", "errwrap"}
+	want := []string{
+		"walltime", "globalrand", "maporder", "metricname", "errwrap",
+		"goroutine", "shardown", "errflow", "walltime-reach",
+	}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

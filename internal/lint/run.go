@@ -31,6 +31,18 @@ func FindModuleRoot(dir string) (string, error) {
 // patterns relative to the module root ("./..." for the whole module,
 // otherwise directory paths) and returns the sorted findings.
 func RunPatterns(moduleRoot string, patterns []string) ([]engine.Finding, error) {
+	units, err := LoadUnits(moduleRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(units, All())
+}
+
+// LoadUnits loads the units named by go-style patterns (see
+// RunPatterns) without analyzing them. Drivers that run analyzers one
+// at a time — cmd/pdsilint's per-analyzer timing — load once through
+// here and invoke engine.Run per analyzer over the same units.
+func LoadUnits(moduleRoot string, patterns []string) ([]*engine.Unit, error) {
 	loader, err := engine.NewLoader(moduleRoot)
 	if err != nil {
 		return nil, err
@@ -66,5 +78,5 @@ func RunPatterns(moduleRoot string, patterns []string) ([]engine.Finding, error)
 			units = append(units, us...)
 		}
 	}
-	return engine.Run(units, All())
+	return units, nil
 }

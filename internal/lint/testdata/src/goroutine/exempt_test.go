@@ -1,0 +1,9 @@
+package goroutine
+
+// Test files are exempt: race tests and parallel harnesses exercise
+// concurrency on purpose. Nothing here is flagged.
+func testOnlyConcurrency() {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	<-ch
+}

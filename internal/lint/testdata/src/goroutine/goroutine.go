@@ -1,0 +1,42 @@
+// Fixture for the goroutine analyzer: concurrency primitives are
+// forbidden in simulation code; sanctioned pools use an allowfile
+// directive (pool.go) and test files are exempt (exempt_test.go).
+package goroutine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var mu sync.Mutex // want `sync.Mutex in simulation code`
+
+func work() {}
+
+func spawn() {
+	go work() // want `go statement in simulation code`
+}
+
+func channels() {
+	ch := make(chan int) // want `channel type in simulation code`
+	ch <- 1              // want `channel send in simulation code`
+	<-ch                 // want `channel receive in simulation code`
+	close(ch)            // want `close of a channel in simulation code`
+	for range ch {       // want `range over channel in simulation code`
+	}
+}
+
+func choose(ch chan int) { // want `channel type in simulation code`
+	select { // want `select in simulation code`
+	case <-ch: // want `channel receive in simulation code`
+	}
+}
+
+func count(n *int64) {
+	atomic.AddInt64(n, 1) // want `sync/atomic.AddInt64 in simulation code`
+}
+
+// The line-level escape hatch still works for a single statement.
+func sanctionedLine() {
+	//lint:allow goroutine -- fixture proves the line escape hatch
+	go work()
+}

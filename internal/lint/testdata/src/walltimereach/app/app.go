@@ -1,0 +1,14 @@
+// Fixture for the walltime-reach analyzer, caller side: a simulation
+// package that reaches the clock through another package's helper, and
+// one that leans on the sanctioned stopwatch from non-harness code.
+package app
+
+import "walltimereach/helpers"
+
+func Report() int64 { // want `transitively reaches the wall clock via app\.Report -> helpers\.Wrap`
+	return helpers.Wrap()
+}
+
+func Timed() int64 {
+	return helpers.StopwatchStart() // want `harness stopwatch helpers\.StopwatchStart used outside a cmd/ harness or test`
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/engine"
+)
+
+// Walltimereach upgrades the walltime ban from per-file syntax to
+// call-graph reachability. The syntactic analyzer stops direct
+// time.Now calls, but a helper that wraps the clock behind a local
+// //lint:allow — or behind one level of indirection in another package —
+// would hand wall time to every caller unseen. This analyzer computes
+// the set of module functions that can transitively observe the wall
+// clock and flags each of them, with the shortest call chain in the
+// message. Propagation stops at the single sanctioned root: functions
+// declared in a file carrying `//lint:allowfile walltime-reach`
+// (obs.Stopwatch's file), whose callers are, by policy, allowed to
+// measure elapsed real time. A second check pins that policy down:
+// the sanctioned root itself may only be called from cmd/ harness
+// packages, test files, or its own package — simulation packages that
+// time themselves with the Stopwatch would smuggle wall time into sim
+// state.
+//
+// Approximation: the call graph resolves direct calls, static method
+// calls, function values, and locally bound literals; dynamic dispatch
+// through interfaces is not followed. A wall clock hidden behind an
+// interface still needs a concrete implementation somewhere, and that
+// implementation is flagged.
+var Walltimereach = &engine.Analyzer{
+	Name: "walltime-reach",
+	Doc: "flag functions that transitively reach the wall clock through helpers; " +
+		"obs.Stopwatch (//lint:allowfile walltime-reach) is the single sanctioned root, callable only from harnesses",
+	Run: func(pass *engine.Pass) (any, error) {
+		return nil, nil // all work happens cross-package, in Finish
+	},
+	Finish: func(results []engine.UnitResult) []engine.Diagnostic {
+		units := make([]*engine.Unit, len(results))
+		for i, r := range results {
+			units[i] = r.Unit
+		}
+		g := engine.BuildCallGraph(units)
+
+		// Classify nodes: direct wall-clock callers and sanctioned
+		// roots (declared in an allowfile walltime-reach file).
+		direct := map[engine.FuncID]bool{}
+		sanctioned := map[engine.FuncID]bool{}
+		for _, id := range g.SortedIDs() {
+			n := g.Nodes[id]
+			if n.Unit.FileAllowed(n.Pos, "walltime-reach") {
+				sanctioned[id] = true
+			}
+			if n.Body == nil {
+				continue
+			}
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok && m != n.Decl {
+					return false // literal bodies are their own nodes
+				}
+				if call, ok := m.(*ast.CallExpr); ok {
+					if name, ok := pkgFuncCall(n.Unit.Info, call, "time"); ok && wallFuncs[name] {
+						direct[id] = true
+					}
+				}
+				return true
+			})
+		}
+
+		// Propagate wall taint up the reversed graph; sanctioned roots
+		// absorb taint instead of passing it on.
+		tainted := map[engine.FuncID]bool{}
+		for id := range direct {
+			tainted[id] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, id := range g.SortedIDs() {
+				if tainted[id] {
+					continue
+				}
+				for _, e := range g.Nodes[id].Out {
+					if tainted[e.To] && !sanctioned[e.To] {
+						tainted[id] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+
+		var diags []engine.Diagnostic
+		for _, id := range g.SortedIDs() {
+			n := g.Nodes[id]
+			switch {
+			case tainted[id] && !direct[id] && !sanctioned[id]:
+				// Indirect reach: walltime already covers direct calls.
+				path := g.PathTo(id, func(t engine.FuncID) bool {
+					return direct[t] && !sanctioned[t]
+				})
+				diags = append(diags, engine.Diagnostic{
+					Pos: n.Pos,
+					Message: fmt.Sprintf(
+						"transitively reaches the wall clock via %s: route timing through obs.Stopwatch in a harness, or take time from the sim kernel",
+						chainString(id, path)),
+				})
+			case sanctioned[id]:
+				// Enforce the harness-only scope of the sanctioned root.
+				for _, caller := range g.SortedIDs() {
+					cn := g.Nodes[caller]
+					if sanctioned[caller] || harnessContext(cn) {
+						continue
+					}
+					for _, e := range cn.Out {
+						if e.To == id {
+							diags = append(diags, engine.Diagnostic{
+								Pos: e.Pos,
+								Message: fmt.Sprintf(
+									"harness stopwatch %s used outside a cmd/ harness or test: simulation code must take time from the sim kernel",
+									shortID(id)),
+							})
+						}
+					}
+				}
+			}
+		}
+		return diags
+	},
+}
+
+// harnessContext reports whether a function may legitimately consume
+// the sanctioned wall-clock root: cmd/ packages, test files, and the
+// root's own package (internal/obs exercises its Stopwatch).
+func harnessContext(n *engine.FuncNode) bool {
+	if n.TestOnly {
+		return true
+	}
+	path := strings.TrimSuffix(n.Unit.ImportPath, "_test")
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return strings.HasSuffix(path, "internal/obs")
+}
+
+// shortID trims the module path off a FuncID for messages.
+func shortID(id engine.FuncID) string {
+	s := string(id)
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// chainString renders "a -> b -> c" for a path of edges out of from.
+func chainString(from engine.FuncID, path []engine.Edge) string {
+	parts := []string{shortID(from)}
+	for _, e := range path {
+		parts = append(parts, shortID(e.To))
+	}
+	return strings.Join(parts, " -> ")
+}

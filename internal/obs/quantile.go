@@ -1,3 +1,5 @@
+//lint:allowfile goroutine -- sanctioned site: quantile samples arrive from parallel shard runners under a mutex
+
 package obs
 
 import (

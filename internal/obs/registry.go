@@ -1,3 +1,5 @@
+//lint:allowfile goroutine -- sanctioned site: one registry is shared by parallel shard runners; counters use atomics so sim-time code stays lock-free
+
 // Package obs is the deterministic observability layer shared by every
 // substrate in this repository: a metrics registry (counters, gauges,
 // fixed-bucket histograms) whose snapshots serialize to stable-ordered

@@ -1,3 +1,5 @@
+//lint:allowfile goroutine -- sanctioned site: time series are recorded from parallel shard runners under a mutex
+
 package obs
 
 import (

@@ -1,3 +1,5 @@
+//lint:allowfile goroutine -- sanctioned site: spans are emitted from parallel shard runners under a mutex
+
 package obs
 
 import (

@@ -379,6 +379,7 @@ func (fs *FS) scrubServer(s *server, rep *ScrubReport, done func()) {
 				next(i + 1)
 				return
 			}
+			//lint:allow errflow -- err is deliberately unread when another pass initiated the repair: that pass counts the outcome
 			fs.detectAndRepair(s, gid, diskOff, size, func(err error, initiated bool) {
 				// A repair someone else initiated is not this pass's: the
 				// detection and outcome were already counted there.

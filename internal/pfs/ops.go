@@ -166,7 +166,7 @@ func (c *Client) Write(f *File, off, size int64, done func()) {
 		c.WriteErr(f, off, size, nil)
 		return
 	}
-	c.WriteErr(f, off, size, func(error) { done() })
+	c.WriteErr(f, off, size, func(error) { done() }) //lint:allow errflow -- Write is the fault-blind variant; its doc sends fault-aware callers to WriteErr
 }
 
 // WriteErr is Write with failure reporting: done receives ErrServerDown
@@ -365,7 +365,7 @@ func (c *Client) Read(f *File, off, size int64, done func()) {
 		c.ReadErr(f, off, size, nil)
 		return
 	}
-	c.ReadErr(f, off, size, func(error) { done() })
+	c.ReadErr(f, off, size, func(error) { done() }) //lint:allow errflow -- Read is the fault-blind variant; its doc sends fault-aware callers to ReadErr
 }
 
 // ReadErr is Read with failure reporting. A piece whose home server is

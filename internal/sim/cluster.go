@@ -1,3 +1,5 @@
+//lint:allowfile goroutine -- sanctioned site: the shard runner pool executes one engine per OS thread between conservative-lookahead barriers
+
 package sim
 
 import (
